@@ -1,0 +1,176 @@
+// Command horus-stack is the CLI to the paper's §6 property calculus:
+// it prints Tables 3 and 4, checks stack descriptions for
+// well-formedness, derives the properties a stack provides over a
+// given network, and synthesizes minimal stacks for required
+// properties.
+//
+// Usage:
+//
+//	horus-stack props                      print Table 4 (P1..P16)
+//	horus-stack table                      print Table 3 (Requires/Inherits/Provides)
+//	horus-stack list                       list implemented layers
+//	horus-stack check  [-net P1] STACK     check well-formedness, derive properties
+//	horus-stack synth  [-net P1] PROPS     synthesize a minimal stack
+//
+// STACK is top-first, colon separated (TOTAL:MBRSHIP:FRAG:NAK:COM);
+// PROPS is comma separated (P6,P9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"horus/internal/property"
+	"horus/internal/stackreg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "horus-stack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: horus-stack {props|table|list|check|synth} ...")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "props":
+		printProps()
+		return nil
+	case "table":
+		printTable()
+		return nil
+	case "list":
+		printList()
+		return nil
+	case "check":
+		return check(rest)
+	case "synth":
+		return synth(rest)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printProps() {
+	fmt.Println("Table 4 — protocol properties:")
+	for i := 1; i <= 16; i++ {
+		p := property.Set(1) << uint(i-1)
+		fmt.Printf("  P%-3d %s\n", i, property.Descriptions[p])
+	}
+}
+
+func printTable() {
+	fmt.Println("Table 3 — (R)equires / (I)nherits / (P)rovides per layer:")
+	fmt.Printf("%-10s", "Layer")
+	for i := 1; i <= 16; i++ {
+		fmt.Printf("%4s", fmt.Sprintf("P%d", i))
+	}
+	fmt.Printf("  %s\n", "cost")
+	for _, spec := range property.Table3 {
+		fmt.Printf("%-10s", spec.Name)
+		for i := 1; i <= 16; i++ {
+			p := property.Set(1) << uint(i-1)
+			cell := " ."
+			switch {
+			case spec.Provides.Has(p):
+				cell = " P"
+			case spec.Requires.Has(p) && spec.Inherits.Has(p):
+				cell = "RI"
+			case spec.Requires.Has(p):
+				cell = " R"
+			case spec.Inherits.Has(p):
+				cell = " I"
+			}
+			fmt.Printf("%4s", cell)
+		}
+		fmt.Printf("  %4d\n", spec.Cost)
+	}
+	fmt.Println("\n(RI = required and passed through; see property/table3.go for reconstruction notes)")
+}
+
+func printList() {
+	reg := stackreg.Registry()
+	fmt.Println("Implemented layers:")
+	for _, spec := range property.Table3 {
+		impl := " "
+		if _, ok := reg[spec.Name]; ok {
+			impl = "*"
+		}
+		fmt.Printf("  %s %-10s requires %-28s provides %s\n",
+			impl, spec.Name, spec.Requires, spec.Provides)
+	}
+}
+
+func check(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	netFlag := fs.String("net", "P1", "properties the network provides")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: horus-stack check [-net P1] TOP:...:BOTTOM")
+	}
+	netProps, err := property.ParseSet(*netFlag)
+	if err != nil {
+		return err
+	}
+	stack := property.ParseStack(fs.Arg(0))
+	derived, err := property.Derive(netProps, stack)
+	if err != nil {
+		return err
+	}
+	cost, err := property.StackCost(stack)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stack    %s\n", strings.Join(stack, ":"))
+	fmt.Printf("network  %v\n", netProps)
+	fmt.Printf("provides %v\n", derived)
+	fmt.Printf("cost     %d\n", cost)
+	derived.Each(func(p property.Set) {
+		fmt.Printf("  P%-3d %s\n", p.Index(), property.Descriptions[p])
+	})
+	return nil
+}
+
+func synth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	netFlag := fs.String("net", "P1", "properties the network provides")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: horus-stack synth [-net P1] P6,P9,...")
+	}
+	netProps, err := property.ParseSet(*netFlag)
+	if err != nil {
+		return err
+	}
+	required, err := property.ParseSet(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	stack, err := property.Synthesize(netProps, required, nil)
+	if err != nil {
+		return err
+	}
+	derived, err := property.Derive(netProps, stack)
+	if err != nil {
+		return err
+	}
+	cost, err := property.StackCost(stack)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("required  %v over %v\n", required, netProps)
+	fmt.Printf("stack     %s\n", strings.Join(stack, ":"))
+	fmt.Printf("provides  %v\n", derived)
+	fmt.Printf("cost      %d\n", cost)
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunCommands(t *testing.T) {
+	good := [][]string{
+		{"props"},
+		{"table"},
+		{"list"},
+		{"check", "TOTAL:MBRSHIP:FRAG:NAK:COM"},
+		{"check", "-net", "P1,P2", "NAK:COM"},
+		{"synth", "P6"},
+		{"synth", "-net", "P1", "P5,P7"},
+	}
+	for _, args := range good {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+	bad := [][]string{
+		{},
+		{"nosuchcmd"},
+		{"check"},
+		{"check", "TOTAL:COM"},
+		{"check", "NOSUCH:COM"},
+		{"check", "-net", "P99", "COM"},
+		{"synth"},
+		{"synth", "P99"},
+		{"synth", "-net", "", "P3"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module horus
+
+go 1.22

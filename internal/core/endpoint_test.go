@@ -1,0 +1,193 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// fakeTransport is a minimal in-process transport for endpoint tests.
+type fakeTransport struct {
+	sent   []fakeSend
+	timers []func()
+}
+
+type fakeSend struct {
+	from  core.EndpointID
+	group core.GroupAddr
+	dests []core.EndpointID
+	wire  []byte
+}
+
+func (f *fakeTransport) Send(from core.EndpointID, group core.GroupAddr, dests []core.EndpointID, wire []byte) {
+	f.sent = append(f.sent, fakeSend{from, group, dests, wire})
+}
+
+func (f *fakeTransport) SetTimer(d time.Duration, fn func()) func() {
+	f.timers = append(f.timers, fn)
+	return func() {}
+}
+
+func (f *fakeTransport) Now() time.Duration { return 0 }
+
+// passLayer forwards everything; echoes message downcalls to the
+// transport via Transmit like a trivial COM.
+type passLayer struct {
+	core.Base
+	initErr error
+}
+
+func (p *passLayer) Name() string { return "PASS" }
+
+func (p *passLayer) Init(c *core.Context) error {
+	if p.initErr != nil {
+		return p.initErr
+	}
+	return p.Base.Init(c)
+}
+
+func (p *passLayer) Down(ev *core.Event) {
+	switch ev.Type {
+	case core.DCast:
+		p.Ctx.Transmit(nil, ev.Msg)
+	case core.DDump:
+		ev.Dump = append(ev.Dump, "PASS: ok")
+		p.Ctx.Down(ev)
+	default:
+		p.Ctx.Down(ev)
+	}
+}
+
+func TestJoinDuplicateGroupRejected(t *testing.T) {
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, &fakeTransport{})
+	if _, err := ep.Join("g", core.StackSpec{func() core.Layer { return &passLayer{} }}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Join("g", core.StackSpec{func() core.Layer { return &passLayer{} }}, nil); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+}
+
+func TestJoinInitErrorPropagates(t *testing.T) {
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, &fakeTransport{})
+	boom := errors.New("boom")
+	_, err := ep.Join("g", core.StackSpec{func() core.Layer { return &passLayer{initErr: boom} }}, nil)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestDestroyDeliversDestroyAndExit(t *testing.T) {
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, &fakeTransport{})
+	var got []core.EventType
+	_, err := ep.Join("g", core.StackSpec{func() core.Layer { return &passLayer{} }},
+		func(ev *core.Event) { got = append(got, ev.Type) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Destroy()
+	if len(got) != 2 || got[0] != core.UDestroy || got[1] != core.UExit {
+		t.Fatalf("events = %v, want [DESTROY EXIT]", got)
+	}
+	if ep.Group("g") != nil {
+		t.Error("group still registered after destroy")
+	}
+	if _, err := ep.Join("h", core.StackSpec{func() core.Layer { return &passLayer{} }}, nil); err == nil {
+		t.Error("join after destroy accepted")
+	}
+	ep.Destroy() // second destroy is a no-op
+}
+
+func TestCastReachesTransport(t *testing.T) {
+	tr := &fakeTransport{}
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, tr)
+	g, err := ep.Join("g", core.StackSpec{func() core.Layer { return &passLayer{} }}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Cast(message.New([]byte("w")))
+	if len(tr.sent) != 1 || tr.sent[0].group != "g" {
+		t.Fatalf("transport saw %v", tr.sent)
+	}
+}
+
+func TestDeliverUnknownGroupDropped(t *testing.T) {
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, &fakeTransport{})
+	ep.Deliver("nope", message.New([]byte("x")).Marshal()) // must not panic
+}
+
+func TestDeliverMalformedWireCounted(t *testing.T) {
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, &fakeTransport{})
+	if _, err := ep.Join("g", core.StackSpec{func() core.Layer { return &passLayer{} }}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ep.Deliver("g", []byte{0, 0}) // too short for the length prefix
+}
+
+func TestEmptyStackErrorsOnCast(t *testing.T) {
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, &fakeTransport{})
+	var errs []string
+	g, err := ep.Join("g", core.StackSpec{}, func(ev *core.Event) {
+		if ev.Type == core.USystemError {
+			errs = append(errs, ev.Reason)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Cast(message.New([]byte("x")))
+	if len(errs) != 1 {
+		t.Fatalf("SYSTEM_ERRORs = %v, want one (cast fell off the stack)", errs)
+	}
+}
+
+func TestDumpAndFocus(t *testing.T) {
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, &fakeTransport{})
+	g, err := ep.Join("g", core.StackSpec{func() core.Layer { return &passLayer{} }}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Dump(); d != "PASS: ok" {
+		t.Errorf("dump = %q", d)
+	}
+	if g.Focus("PASS") == nil {
+		t.Error("focus failed to find the layer")
+	}
+	if g.Focus("NOPE") != nil {
+		t.Error("focus found a nonexistent layer")
+	}
+	if got := g.Stack().Names(); got != "PASS" {
+		t.Errorf("stack names = %q", got)
+	}
+}
+
+func TestGroupAccessorsAndControlDowncalls(t *testing.T) {
+	tr := &fakeTransport{}
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, tr)
+	ep.SetTrace(func(string, ...interface{}) {})
+	g, err := ep.Join("g", core.StackSpec{func() core.Layer { return &passLayer{} }}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Addr() != "g" || g.Endpoint() != ep {
+		t.Error("accessors broken")
+	}
+	if g.View() != nil {
+		t.Error("view before any installation")
+	}
+	if g.Stack().Len() != 1 {
+		t.Errorf("stack len = %d", g.Stack().Len())
+	}
+	// Control downcalls traverse without effect on a pass-through
+	// stack; they must not panic or mutate anything observable.
+	g.Stable(core.MsgID{Origin: ep.ID(), Seq: 1})
+	g.FlushOK()
+	g.MergeDenied(core.EndpointID{Site: "x", Birth: 9}, "no")
+	g.MergeGranted(core.EndpointID{Site: "x", Birth: 9})
+	if ep.Malformed() != 0 {
+		t.Error("spurious malformed count")
+	}
+}

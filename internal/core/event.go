@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"horus/internal/message"
+)
+
+// EventType enumerates the HCPI vocabulary. Downcalls (paper Table 1)
+// travel from the application toward the network; upcalls (paper
+// Table 2) travel from the network toward the application.
+type EventType int
+
+// Downcall event kinds (paper Table 1). The table's remaining rows —
+// endpoint, join, destroy, focus — are constructors/accessors on the
+// Endpoint and Group objects rather than events that travel through a
+// stack; see Endpoint.Join, Endpoint.Destroy and Group.Focus.
+const (
+	// DCast multicasts Msg to the current view.
+	DCast EventType = iota + 1
+	// DSend sends Msg to the Dests subset of the view.
+	DSend
+	// DAck acknowledges that the application has processed message ID
+	// (end-to-end stability, paper §9).
+	DAck
+	// DStable informs layers that message ID is stable and may be
+	// garbage-collected.
+	DStable
+	// DView installs View, e.g. fed by an external membership service
+	// (paper §5).
+	DView
+	// DLeave leaves the group.
+	DLeave
+	// DFlush starts a flush that removes the Failed members.
+	DFlush
+	// DFlushOK consents to an in-progress flush.
+	DFlushOK
+	// DMerge requests a merge with the view reachable at Contact.
+	DMerge
+	// DMergeGranted grants the merge request in Contact/Msg.
+	DMergeGranted
+	// DMergeDenied denies the merge request, with Reason.
+	DMergeDenied
+	// DDestroy tears the stack down.
+	DDestroy
+	// DDump asks every layer to append diagnostics to Dump.
+	DDump
+	// DLocate broadcasts a discovery beacon beyond the current view.
+	// Not in Table 1: it is the hook for the paper's "resource
+	// location" protocol type (Figure 1), used by the MERGE layer to
+	// find concurrent views of the same group. Only the COM layer acts
+	// on it; every other layer passes it through.
+	DLocate
+)
+
+// Upcall event kinds (paper Table 2).
+const (
+	// UPacket is a raw network arrival entering the bottom of a stack;
+	// the COM layer converts it to UCast/USend with a Source.
+	UPacket EventType = iota + 101
+	// UCast delivers a received multicast message.
+	UCast
+	// USend delivers a received subset message.
+	USend
+	// UView reports a view installation.
+	UView
+	// UFlush reports that a view flush has started (Failed lists the
+	// members being removed).
+	UFlush
+	// UFlushOK reports that the flush completed.
+	UFlushOK
+	// ULeave reports that member Source left voluntarily.
+	ULeave
+	// UDestroy reports that the endpoint was destroyed.
+	UDestroy
+	// ULostMessage reports an unrecoverable message loss (the NAK
+	// layer's place holder, paper §7).
+	ULostMessage
+	// UStable carries a stability matrix update (paper §9).
+	UStable
+	// UProblem reports a communication problem with member Source
+	// (failure suspicion input to membership, paper §5).
+	UProblem
+	// USystemError reports a system error, with Reason.
+	USystemError
+	// UExit is the close-down event.
+	UExit
+	// UMergeRequest reports that the view at Contact asks to merge.
+	UMergeRequest
+	// UMergeDenied reports that our merge request was denied, with
+	// Reason.
+	UMergeDenied
+	// ULocate reports a discovery beacon from another view (companion
+	// to DLocate; consumed by the MERGE layer).
+	ULocate
+)
+
+// IsDowncall reports whether t travels from application to network.
+func (t EventType) IsDowncall() bool { return t >= DCast && t <= DLocate }
+
+// IsUpcall reports whether t travels from network to application.
+func (t EventType) IsUpcall() bool { return t >= UPacket && t <= ULocate }
+
+var eventNames = map[EventType]string{
+	DCast: "cast", DSend: "send", DAck: "ack", DStable: "stable",
+	DView: "view", DLeave: "leave", DFlush: "flush", DFlushOK: "flush_ok",
+	DMerge: "merge", DMergeGranted: "merge_granted", DMergeDenied: "merge_denied",
+	DDestroy: "destroy", DDump: "dump", DLocate: "locate",
+	UPacket: "PACKET", UCast: "CAST", USend: "SEND", UView: "VIEW",
+	UFlush: "FLUSH", UFlushOK: "FLUSH_OK", ULeave: "LEAVE", UDestroy: "DESTROY",
+	ULostMessage: "LOST_MESSAGE", UStable: "STABLE", UProblem: "PROBLEM",
+	USystemError: "SYSTEM_ERROR", UExit: "EXIT",
+	UMergeRequest: "MERGE_REQUEST", UMergeDenied: "MERGE_DENIED",
+	ULocate: "LOCATE",
+}
+
+// String returns the paper's name for the event type: lower case for
+// downcalls, upper case for upcalls.
+func (t EventType) String() string {
+	if s, ok := eventNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("EventType(%d)", int(t))
+}
+
+// Event is the single invocation record that flows through a protocol
+// stack. One structure serves every HCPI call; unused fields are zero.
+// Events are passed by pointer and owned by the layer currently
+// processing them; a layer that buffers an event must not let an alias
+// escape into a later invocation.
+type Event struct {
+	Type EventType
+
+	// Msg is the message payload for cast/send/CAST/SEND and for
+	// protocol-internal control messages.
+	Msg *message.Message
+
+	// Source is the originating endpoint of an upcall (CAST/SEND
+	// sender, PROBLEM subject, LEAVE subject).
+	Source EndpointID
+
+	// Dests is the destination subset for a send downcall.
+	Dests []EndpointID
+
+	// View is the view being installed (view/VIEW).
+	View *View
+
+	// Failed lists failed members (flush/FLUSH).
+	Failed []EndpointID
+
+	// Contact identifies the remote view in merge traffic.
+	Contact EndpointID
+
+	// ID identifies a message for ack/stable and is set on delivered
+	// CAST/SEND events by a stability layer so the application can ack.
+	ID MsgID
+
+	// Stability is the matrix carried by a STABLE upcall.
+	Stability *StabilityMatrix
+
+	// Reason explains SYSTEM_ERROR, MERGE_DENIED and LOST_MESSAGE.
+	Reason string
+
+	// Timestamp is the causal (vector) timestamp attached by a TSTAMP
+	// layer on delivery — property P13, consumed by ORDER(causal).
+	// Indexed by the sender's view ranks at send time.
+	Timestamp []uint64
+
+	// Priority orders competing transmissions in a prioritized-effort
+	// layer (NNAK, property P2). Higher is more urgent; 0 is normal.
+	Priority int
+
+	// Primary marks a VIEW upcall as belonging to the primary
+	// partition when the membership layer runs with the Isis-style
+	// primary-partition progress restriction (paper §9). Without that
+	// option every view reports Primary.
+	Primary bool
+
+	// Dump accumulates per-layer diagnostics for the dump downcall.
+	Dump []string
+}
+
+// NewCast builds a cast downcall for msg.
+func NewCast(msg *message.Message) *Event { return &Event{Type: DCast, Msg: msg} }
+
+// NewSend builds a send downcall for msg to dests.
+func NewSend(msg *message.Message, dests []EndpointID) *Event {
+	return &Event{Type: DSend, Msg: msg, Dests: dests}
+}
+
+// String renders a short diagnostic form.
+func (ev *Event) String() string {
+	s := ev.Type.String()
+	if ev.Msg != nil {
+		s += " " + ev.Msg.String()
+	}
+	if !ev.Source.IsZero() {
+		s += " from=" + ev.Source.String()
+	}
+	if ev.View != nil {
+		s += " view=" + ev.View.String()
+	}
+	return s
+}

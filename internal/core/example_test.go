@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/layers/com"
+	"horus/internal/layers/mbrship"
+	"horus/internal/layers/nak"
+	"horus/internal/message"
+	"horus/internal/netsim"
+)
+
+// Compose a virtually synchronous stack at run time, form a two-member
+// group by merging (join *is* view merge), and multicast.
+func Example() {
+	net := netsim.New(netsim.Config{Seed: 1, DefaultLink: netsim.Link{Delay: time.Millisecond}})
+	stack := func() core.StackSpec {
+		return core.StackSpec{
+			mbrship.NewWith(
+				mbrship.WithGossipPeriod(40*time.Millisecond),
+				mbrship.WithFlushTimeout(500*time.Millisecond),
+			),
+			nak.NewWith(nak.WithStatusPeriod(20*time.Millisecond), nak.WithSuspectAfter(6)),
+			com.New,
+		}
+	}
+
+	alice := net.NewEndpoint("alice")
+	ga, _ := alice.Join("demo", stack(), func(ev *core.Event) {
+		if ev.Type == core.UCast {
+			fmt.Printf("alice got %q from %s\n", ev.Msg.Body(), ev.Source.Site)
+		}
+	})
+	bob := net.NewEndpoint("bob")
+	gb, _ := bob.Join("demo", stack(), func(ev *core.Event) {
+		switch ev.Type {
+		case core.UView:
+			if ev.View.Size() == 2 {
+				fmt.Println("bob joined:", ev.View.Size(), "members")
+			}
+		case core.UCast:
+			fmt.Printf("bob   got %q from %s\n", ev.Msg.Body(), ev.Source.Site)
+		}
+	})
+
+	net.At(10*time.Millisecond, func() { gb.Merge(alice.ID()) })
+	net.At(100*time.Millisecond, func() { ga.Cast(message.New([]byte("hello, group"))) })
+	net.RunFor(time.Second)
+
+	// Output:
+	// bob joined: 2 members
+	// alice got "hello, group" from alice
+	// bob   got "hello, group" from alice
+}

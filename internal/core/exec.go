@@ -1,0 +1,41 @@
+package core
+
+import "sync"
+
+// executor is the event-queue execution model the paper reports moving
+// to (§3 end, §10 item 2): rather than locking layers against
+// concurrent threads, every invocation of a stack is placed on a queue
+// and executed to completion by a single logical scheduling thread per
+// endpoint. Besides eliminating intra-stack locking, this makes
+// downcalls issued from within upcall handlers non-recursive: they are
+// enqueued and run next, so application handlers may freely Cast.
+type executor struct {
+	mu      sync.Mutex
+	queue   []func()
+	running bool
+}
+
+// Do runs fn on the endpoint's event queue. If no drain is in
+// progress, the calling goroutine becomes the drainer and fn (plus any
+// work fn enqueues) executes synchronously before Do returns; if a
+// drain is already active — including the case where fn is enqueued
+// from inside a running event — fn is queued for that drainer and Do
+// returns immediately.
+func (x *executor) Do(fn func()) {
+	x.mu.Lock()
+	x.queue = append(x.queue, fn)
+	if x.running {
+		x.mu.Unlock()
+		return
+	}
+	x.running = true
+	for len(x.queue) > 0 {
+		next := x.queue[0]
+		x.queue = x.queue[1:]
+		x.mu.Unlock()
+		next()
+		x.mu.Lock()
+	}
+	x.running = false
+	x.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+package core
+
+// Skipper is the optional interface behind the paper's §10 item 1
+// optimization: "we will avoid unnecessary invocations of a layer,
+// skipping layers that take no action on the way down or up." A layer
+// that implements Skipper declares, per event kind and direction,
+// whether it merely passes the event through verbatim; the stack
+// precomputes jump tables at composition time and routes such events
+// straight past the layer, eliminating the indirect call entirely.
+//
+// Declaring transparency is a promise: for a (kind, direction) the
+// layer reports transparent, its Down/Up must be observationally
+// identical to Ctx.Down/Ctx.Up — no header pushes, no state changes,
+// no counters. Layers that meter traffic (TRACE, ACCOUNT) must not
+// declare data events transparent.
+type Skipper interface {
+	// Transparent reports whether events of kind t in the given
+	// direction pass through this layer verbatim.
+	Transparent(t EventType, down bool) bool
+}
+
+// skipTables holds, for every event kind, the next non-transparent
+// layer index at or below/above each position. Built once per stack
+// and stored densely — the lookup sits on the data path of every
+// layer crossing, so it must cost no more than an array index.
+type skipTables struct {
+	// down[idx(t)][i] = smallest j >= i with layer j not transparent
+	// for (t, down); len(layers) if none.
+	down [eventSlots][]int16
+	// up[idx(t)][i+1] = largest j <= i with layer j not transparent
+	// for (t, up); -1 if none.
+	up [eventSlots][]int16
+}
+
+// eventSlots covers the dense event-kind index space.
+const eventSlots = int(DLocate) + int(ULocate-UPacket) + 2
+
+// eventIndex maps the HCPI vocabulary onto 0..eventSlots-1; unknown
+// kinds map to slot 0 (DCast's slot is never transparent-only in
+// practice, and unknown kinds do not occur on stacks).
+func eventIndex(t EventType) int {
+	if t >= DCast && t <= DLocate {
+		return int(t - DCast)
+	}
+	if t >= UPacket && t <= ULocate {
+		return int(DLocate) + int(t-UPacket) + 1
+	}
+	return 0
+}
+
+// buildSkipTables precomputes routing past transparent layers.
+func buildSkipTables(layers []Layer) *skipTables {
+	n := len(layers)
+	st := &skipTables{}
+	transparent := func(i int, t EventType, down bool) bool {
+		s, ok := layers[i].(Skipper)
+		return ok && s.Transparent(t, down)
+	}
+	fill := func(t EventType) {
+		slot := eventIndex(t)
+		d := make([]int16, n+1)
+		d[n] = int16(n)
+		for i := n - 1; i >= 0; i-- {
+			if transparent(i, t, true) {
+				d[i] = d[i+1]
+			} else {
+				d[i] = int16(i)
+			}
+		}
+		st.down[slot] = d
+
+		u := make([]int16, n+1) // u[i+1] corresponds to position i
+		u[0] = -1
+		for i := 0; i < n; i++ {
+			if transparent(i, t, false) {
+				u[i+1] = u[i]
+			} else {
+				u[i+1] = int16(i)
+			}
+		}
+		st.up[slot] = u
+	}
+	for t := DCast; t <= DLocate; t++ {
+		fill(t)
+	}
+	for t := UPacket; t <= ULocate; t++ {
+		fill(t)
+	}
+	return st
+}
+
+// nextDown returns the first non-transparent layer index >= from for
+// event kind t, or len(layers) when the event should fall off the
+// bottom.
+func (s *skipTables) nextDown(t EventType, from, n int) int {
+	d := s.down[eventIndex(t)]
+	if d != nil && from >= 0 && from <= n {
+		return int(d[from])
+	}
+	return from
+}
+
+// nextUp returns the first non-transparent layer index <= from, or -1
+// when the event should emerge at the top.
+func (s *skipTables) nextUp(t EventType, from int) int {
+	u := s.up[eventIndex(t)]
+	if u != nil && from >= -1 && from < len(u)-1 {
+		return int(u[from+1])
+	}
+	return from
+}

@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// skippable counts invocations and declares transparency for all
+// control events; only casts reach it.
+type skippable struct {
+	core.Base
+	downs, ups int
+}
+
+func (s *skippable) Name() string { return "SKIP" }
+func (s *skippable) Down(ev *core.Event) {
+	s.downs++
+	s.Ctx.Down(ev)
+}
+func (s *skippable) Up(ev *core.Event) {
+	s.ups++
+	s.Ctx.Up(ev)
+}
+func (s *skippable) Transparent(t core.EventType, down bool) bool {
+	if down {
+		return t != core.DCast
+	}
+	return t != core.UCast
+}
+
+// opaque counts invocations and declares nothing: it sees everything.
+// With absorb set (the bottom position) it swallows message downcalls
+// like a COM without a network, so nothing falls off the stack.
+type opaque struct {
+	core.Base
+	absorb     bool
+	downs, ups int
+}
+
+func (o *opaque) Name() string { return "OPAQUE" }
+func (o *opaque) Down(ev *core.Event) {
+	o.downs++
+	if o.absorb && (ev.Type == core.DCast || ev.Type == core.DSend) {
+		return
+	}
+	o.Ctx.Down(ev)
+}
+func (o *opaque) Up(ev *core.Event) {
+	o.ups++
+	o.Ctx.Up(ev)
+}
+
+func TestSkippingRoutesPastTransparentLayers(t *testing.T) {
+	sk := &skippable{}
+	op := &opaque{}
+	bot := &opaque{absorb: true}
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, nullTransportSkip{})
+	var ups []core.EventType
+	g, err := ep.Join("g", core.StackSpec{
+		func() core.Layer { return op },
+		func() core.Layer { return sk },
+		func() core.Layer { return bot },
+	}, func(ev *core.Event) { ups = append(ups, ev.Type) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A cast traverses every layer.
+	g.Cast(message.New([]byte("x")))
+	if sk.downs != 1 || op.downs != 1 || bot.downs != 1 {
+		t.Fatalf("cast invocations: op=%d sk=%d bot=%d, want 1/1/1", op.downs, sk.downs, bot.downs)
+	}
+
+	// A control downcall skips the transparent layer entirely.
+	g.Ack(core.MsgID{Origin: ep.ID(), Seq: 1})
+	if sk.downs != 1 {
+		t.Fatalf("transparent layer invoked for ack (downs=%d)", sk.downs)
+	}
+	if op.downs != 2 || bot.downs != 2 {
+		t.Fatalf("opaque layers missed the ack: op=%d bot=%d", op.downs, bot.downs)
+	}
+
+	// Upward: a PROBLEM from the bottom skips the transparent layer
+	// but reaches the opaque one and the handler.
+	ep.Do(func() {
+		bot.Ctx.Up(&core.Event{Type: core.UProblem, Source: ep.ID()})
+	})
+	if sk.ups != 0 {
+		t.Fatalf("transparent layer invoked for PROBLEM (ups=%d)", sk.ups)
+	}
+	if op.ups != 1 {
+		t.Fatalf("opaque layer missed the PROBLEM (ups=%d)", op.ups)
+	}
+	if len(ups) != 1 || ups[0] != core.UProblem {
+		t.Fatalf("handler events = %v", ups)
+	}
+
+	// Upward cast goes through everyone.
+	ep.Do(func() {
+		bot.Ctx.Up(&core.Event{Type: core.UCast, Msg: message.New([]byte("y")), Source: ep.ID()})
+	})
+	if sk.ups != 1 || op.ups != 2 {
+		t.Fatalf("cast up invocations: sk=%d op=%d", sk.ups, op.ups)
+	}
+}
+
+func TestFullyTransparentStackDeliversToHandler(t *testing.T) {
+	// Every layer transparent for PROBLEM: the event must emerge at
+	// the handler without touching any layer.
+	l1, l2 := &skippable{}, &skippable{}
+	ep := core.NewEndpoint(core.EndpointID{Site: "a", Birth: 1}, nullTransportSkip{})
+	var got int
+	g, err := ep.Join("g", core.StackSpec{
+		func() core.Layer { return l1 },
+		func() core.Layer { return l2 },
+	}, func(ev *core.Event) {
+		if ev.Type == core.UProblem {
+			got++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Do(func() {
+		g.Stack().Up(&core.Event{Type: core.UProblem})
+	})
+	if got != 1 || l1.ups != 0 || l2.ups != 0 {
+		t.Fatalf("got=%d l1=%d l2=%d", got, l1.ups, l2.ups)
+	}
+	// And a control downcall falls straight to absorption.
+	g.Ack(core.MsgID{})
+	if l1.downs != 0 || l2.downs != 0 {
+		t.Fatal("transparent layers saw the ack")
+	}
+}
+
+type nullTransportSkip struct{}
+
+func (nullTransportSkip) Send(core.EndpointID, core.GroupAddr, []core.EndpointID, []byte) {}
+func (nullTransportSkip) SetTimer(d time.Duration, fn func()) func()                      { return func() {} }
+func (nullTransportSkip) Now() time.Duration                                              { return 0 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StabilityMatrix is the structure carried by STABLE upcalls (paper
+// §9). Entry (i, j) records how many messages multicast by member i
+// have been acknowledged as processed by member j. A message is stable
+// once every surviving destination has processed it; what "processed"
+// means is entirely application-defined — the matrix only reflects the
+// ack downcalls the application issued (the paper's end-to-end point).
+type StabilityMatrix struct {
+	Members []EndpointID
+	// Acked[i][j] = count of i's messages processed by j.
+	Acked [][]uint64
+}
+
+// NewStabilityMatrix returns a zeroed matrix over members.
+func NewStabilityMatrix(members []EndpointID) *StabilityMatrix {
+	acked := make([][]uint64, len(members))
+	for i := range acked {
+		acked[i] = make([]uint64, len(members))
+	}
+	ms := make([]EndpointID, len(members))
+	copy(ms, members)
+	return &StabilityMatrix{Members: ms, Acked: acked}
+}
+
+// Index returns the row/column of member e, or -1.
+func (s *StabilityMatrix) Index(e EndpointID) int {
+	for i, m := range s.Members {
+		if m == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// Set records that acks messages from origin have been processed by
+// member. Counts are monotone: a lower value than already recorded is
+// ignored, since acknowledgement information can only grow.
+func (s *StabilityMatrix) Set(origin, member EndpointID, acks uint64) {
+	i, j := s.Index(origin), s.Index(member)
+	if i < 0 || j < 0 {
+		return
+	}
+	if acks > s.Acked[i][j] {
+		s.Acked[i][j] = acks
+	}
+}
+
+// Get returns how many of origin's messages member has processed.
+func (s *StabilityMatrix) Get(origin, member EndpointID) uint64 {
+	i, j := s.Index(origin), s.Index(member)
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return s.Acked[i][j]
+}
+
+// MinStable returns the number of origin's messages processed by every
+// member — i.e. the stable prefix of origin's message stream.
+func (s *StabilityMatrix) MinStable(origin EndpointID) uint64 {
+	i := s.Index(origin)
+	if i < 0 || len(s.Members) == 0 {
+		return 0
+	}
+	low := s.Acked[i][0]
+	for _, v := range s.Acked[i][1:] {
+		if v < low {
+			low = v
+		}
+	}
+	return low
+}
+
+// MergeFrom folds another matrix's knowledge into s (cell-wise max
+// over the shared members). Gossip-style stability layers exchange
+// matrices and merge them.
+func (s *StabilityMatrix) MergeFrom(other *StabilityMatrix) {
+	for i, origin := range other.Members {
+		for j, member := range other.Members {
+			s.Set(origin, member, other.Acked[i][j])
+		}
+	}
+}
+
+// Clone returns an independent deep copy.
+func (s *StabilityMatrix) Clone() *StabilityMatrix {
+	c := NewStabilityMatrix(s.Members)
+	for i := range s.Acked {
+		copy(c.Acked[i], s.Acked[i])
+	}
+	return c
+}
+
+// String renders the matrix one row per origin.
+func (s *StabilityMatrix) String() string {
+	var b strings.Builder
+	for i, m := range s.Members {
+		fmt.Fprintf(&b, "%s:%v ", m, s.Acked[i])
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,26 @@
+package core
+
+import "time"
+
+// Transport is the environment underneath the bottom layer of every
+// stack: a best-effort (property P1) message carrier plus a timer
+// service. The network simulator implements it for deterministic
+// discrete-event runs; a goroutine-based implementation provides
+// wall-clock behaviour. Messages handed to Send may be delayed, lost,
+// duplicated, reordered, or garbled — recovering from all of that is
+// exactly the job of the layers above.
+type Transport interface {
+	// Send transmits wire bytes from the given endpoint to each
+	// destination, best effort. An empty dests slice means "all
+	// endpoints attached to the group address" (used before any view
+	// is known, e.g. by merge discovery).
+	Send(from EndpointID, group GroupAddr, dests []EndpointID, wire []byte)
+
+	// SetTimer schedules fn after d. The returned function cancels the
+	// timer if it has not fired.
+	SetTimer(d time.Duration, fn func()) (cancel func())
+
+	// Now returns the current transport time. For simulated transports
+	// this is virtual time.
+	Now() time.Duration
+}

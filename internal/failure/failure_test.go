@@ -1,0 +1,64 @@
+package failure
+
+import (
+	"testing"
+
+	"horus/internal/core"
+)
+
+func id(site string, birth uint64) core.EndpointID {
+	return core.EndpointID{Site: site, Birth: birth}
+}
+
+func TestThresholdGatesVerdict(t *testing.T) {
+	s := NewService(2)
+	var verdicts [][]core.EndpointID
+	s.Subscribe(func(f []core.EndpointID) { verdicts = append(verdicts, f) })
+
+	s.Report(id("a", 1), id("x", 9))
+	if len(verdicts) != 0 {
+		t.Fatal("verdict after a single report with threshold 2")
+	}
+	s.Report(id("a", 1), id("x", 9)) // duplicate observer does not count twice
+	if len(verdicts) != 0 {
+		t.Fatal("duplicate observer crossed the threshold")
+	}
+	s.Report(id("b", 2), id("x", 9))
+	if len(verdicts) != 1 || len(verdicts[0]) != 1 || verdicts[0][0] != id("x", 9) {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+}
+
+func TestVerdictIsCumulativeAndSorted(t *testing.T) {
+	s := NewService(1)
+	var last []core.EndpointID
+	s.Subscribe(func(f []core.EndpointID) { last = f })
+	s.Report(id("a", 1), id("y", 5))
+	s.Report(id("a", 1), id("x", 3))
+	if len(last) != 2 || last[0] != id("x", 3) || last[1] != id("y", 5) {
+		t.Fatalf("faulty set = %v, want [x#3 y#5] (age sorted)", last)
+	}
+	if got := s.Faulty(); len(got) != 2 {
+		t.Fatalf("Faulty = %v", got)
+	}
+}
+
+func TestReportsAfterVerdictAreIgnored(t *testing.T) {
+	s := NewService(1)
+	count := 0
+	s.Subscribe(func([]core.EndpointID) { count++ })
+	s.Report(id("a", 1), id("x", 9))
+	s.Report(id("b", 2), id("x", 9))
+	if count != 1 {
+		t.Errorf("subscribers called %d times for one faulty endpoint", count)
+	}
+}
+
+func TestClearForgets(t *testing.T) {
+	s := NewService(1)
+	s.Report(id("a", 1), id("x", 9))
+	s.Clear(id("x", 9))
+	if got := s.Faulty(); len(got) != 0 {
+		t.Errorf("Faulty after Clear = %v", got)
+	}
+}

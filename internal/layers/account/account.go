@@ -1,0 +1,102 @@
+// Package account implements the accounting layer (Figure 1: "keeping
+// track of usage"). Transparent on the wire, it meters messages and
+// bytes per peer in both directions; a billing or quota system reads
+// the ledger through the focus downcall.
+package account
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"horus/internal/core"
+)
+
+// Usage is the metered traffic for one peer.
+type Usage struct {
+	MsgsIn   int
+	BytesIn  int
+	MsgsOut  int
+	BytesOut int
+}
+
+// Account is one accounting layer instance.
+type Account struct {
+	core.Base
+	ledger map[core.EndpointID]*Usage
+}
+
+// New returns an accounting layer.
+func New() core.Layer { return &Account{} }
+
+// Name implements core.Layer.
+func (a *Account) Name() string { return "ACCOUNT" }
+
+// Ledger returns a snapshot of per-peer usage.
+func (a *Account) Ledger() map[core.EndpointID]Usage {
+	out := make(map[core.EndpointID]Usage, len(a.ledger))
+	for k, v := range a.ledger {
+		out[k] = *v
+	}
+	return out
+}
+
+// Init implements core.Layer.
+func (a *Account) Init(c *core.Context) error {
+	if err := a.Base.Init(c); err != nil {
+		return err
+	}
+	a.ledger = make(map[core.EndpointID]*Usage)
+	return nil
+}
+
+func (a *Account) usageFor(e core.EndpointID) *Usage {
+	u := a.ledger[e]
+	if u == nil {
+		u = &Usage{}
+		a.ledger[e] = u
+	}
+	return u
+}
+
+// Down implements core.Layer.
+func (a *Account) Down(ev *core.Event) {
+	switch ev.Type {
+	case core.DCast, core.DSend:
+		u := a.usageFor(a.Ctx.Self())
+		u.MsgsOut++
+		u.BytesOut += ev.Msg.Len()
+	case core.DDump:
+		ev.Dump = append(ev.Dump, "ACCOUNT: "+a.summary())
+	}
+	a.Ctx.Down(ev)
+}
+
+// Up implements core.Layer.
+func (a *Account) Up(ev *core.Event) {
+	switch ev.Type {
+	case core.UCast, core.USend:
+		u := a.usageFor(ev.Source)
+		u.MsgsIn++
+		u.BytesIn += ev.Msg.Len()
+	}
+	a.Ctx.Up(ev)
+}
+
+func (a *Account) summary() string {
+	ids := make([]core.EndpointID, 0, len(a.ledger))
+	for id := range a.ledger {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Older(ids[j]) })
+	var parts []string
+	for _, id := range ids {
+		u := a.ledger[id]
+		parts = append(parts, fmt.Sprintf("%s in=%d/%dB out=%d/%dB",
+			id, u.MsgsIn, u.BytesIn, u.MsgsOut, u.BytesOut))
+	}
+	if len(parts) == 0 {
+		return "empty"
+	}
+	return strings.Join(parts, "; ")
+}

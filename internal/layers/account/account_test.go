@@ -1,0 +1,37 @@
+package account_test
+
+import (
+	"testing"
+
+	"horus/internal/core"
+	"horus/internal/layers/account"
+	"horus/internal/layertest"
+	"horus/internal/message"
+)
+
+func TestLedgerMeters(t *testing.T) {
+	h := layertest.New(t, account.New)
+	peer := layertest.ID("p", 2)
+	h.InjectDown(core.NewCast(message.New([]byte("12345"))))
+	h.InjectDown(core.NewSend(message.New([]byte("123")), []core.EndpointID{peer}))
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: message.New([]byte("1234567")), Source: peer})
+
+	a := h.G.Focus("ACCOUNT").(*account.Account)
+	ledger := a.Ledger()
+	self := ledger[h.Self()]
+	if self.MsgsOut != 2 || self.BytesOut != 8 {
+		t.Errorf("self usage = %+v, want 2 msgs / 8 bytes out", self)
+	}
+	in := ledger[peer]
+	if in.MsgsIn != 1 || in.BytesIn != 7 {
+		t.Errorf("peer usage = %+v, want 1 msg / 7 bytes in", in)
+	}
+}
+
+func TestTransparentOnWire(t *testing.T) {
+	h := layertest.New(t, account.New)
+	h.InjectDown(core.NewCast(message.New([]byte("x"))))
+	if h.LastDown().Msg.HeaderLen() != 0 {
+		t.Error("ACCOUNT pushed header bytes")
+	}
+}

@@ -1,0 +1,138 @@
+package frag_test
+
+import (
+	"bytes"
+	"testing"
+
+	"horus/internal/core"
+	"horus/internal/layers/frag"
+	"horus/internal/layertest"
+	"horus/internal/message"
+)
+
+func TestSmallMessageSingleFragment(t *testing.T) {
+	h := layertest.New(t, frag.NewWithSize(128))
+	h.InjectDown(core.NewCast(message.New([]byte("small"))))
+	if got := len(h.DownOfType(core.DCast)); got != 1 {
+		t.Fatalf("%d fragments for a small message, want 1", got)
+	}
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: h.LastDown().Msg.Clone(), Source: layertest.ID("p", 2)})
+	if got := h.LastUp(); got == nil || string(got.Msg.Body()) != "small" {
+		t.Fatalf("single-fragment round trip failed: %v", got)
+	}
+}
+
+func TestLargeMessageSplitsAndReassembles(t *testing.T) {
+	h := layertest.New(t, frag.NewWithSize(100))
+	body := make([]byte, 1000)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	m := message.New(body)
+	m.PushString("hdr")
+	h.InjectDown(core.NewCast(m))
+
+	frags := h.DownOfType(core.DCast)
+	if len(frags) < 10 {
+		t.Fatalf("%d fragments, want >= 10", len(frags))
+	}
+	for _, f := range frags {
+		if f.Msg.Len() > 100+1 { // +1 for the more-flag byte
+			t.Fatalf("fragment exceeds limit: %d bytes", f.Msg.Len())
+		}
+	}
+	src := layertest.ID("p", 2)
+	for _, f := range frags {
+		h.InjectUp(&core.Event{Type: core.UCast, Msg: f.Msg.Clone(), Source: src})
+	}
+	got := h.LastUp()
+	if got == nil || got.Type != core.UCast {
+		t.Fatal("reassembled message not delivered")
+	}
+	if got.Msg.PopString() != "hdr" {
+		t.Fatal("upper header lost")
+	}
+	if !bytes.Equal(got.Msg.Body(), body) {
+		t.Fatal("body corrupted in reassembly")
+	}
+}
+
+func TestInterleavedSourcesReassembleIndependently(t *testing.T) {
+	h := layertest.New(t, frag.NewWithSize(64))
+	mkFrags := func(tag string) []*core.Event {
+		h.Reset()
+		h.InjectDown(core.NewCast(message.New(bytes.Repeat([]byte(tag), 100))))
+		return h.DownOfType(core.DCast)
+	}
+	fa := mkFrags("A")
+	fb := mkFrags("B")
+	h.Reset()
+	pa, pb := layertest.ID("pa", 2), layertest.ID("pb", 3)
+	// Interleave the two sources' fragments.
+	for i := 0; i < len(fa) || i < len(fb); i++ {
+		if i < len(fa) {
+			h.InjectUp(&core.Event{Type: core.UCast, Msg: fa[i].Msg.Clone(), Source: pa})
+		}
+		if i < len(fb) {
+			h.InjectUp(&core.Event{Type: core.UCast, Msg: fb[i].Msg.Clone(), Source: pb})
+		}
+	}
+	ups := h.UpOfType(core.UCast)
+	if len(ups) != 2 {
+		t.Fatalf("delivered %d messages, want 2", len(ups))
+	}
+	for _, ev := range ups {
+		want := byte('A')
+		if ev.Source == pb {
+			want = 'B'
+		}
+		if ev.Msg.Body()[0] != want {
+			t.Errorf("message from %v has body %q", ev.Source, ev.Msg.Body()[:1])
+		}
+	}
+}
+
+func TestLostMessageClearsReassembly(t *testing.T) {
+	h := layertest.New(t, frag.NewWithSize(64))
+	h.InjectDown(core.NewCast(message.New(bytes.Repeat([]byte("x"), 200))))
+	frags := h.DownOfType(core.DCast)
+	src := layertest.ID("p", 2)
+	// First fragment arrives, then the stream reports a loss.
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: frags[0].Msg.Clone(), Source: src})
+	h.InjectUp(&core.Event{Type: core.ULostMessage, Source: src})
+	// Remaining fragments of the damaged message arrive; reassembly
+	// must not produce a half message.
+	for _, f := range frags[1:] {
+		h.InjectUp(&core.Event{Type: core.UCast, Msg: f.Msg.Clone(), Source: src})
+	}
+	for _, ev := range h.UpOfType(core.UCast) {
+		if len(ev.Msg.Body()) == 200 {
+			t.Fatal("partially lost message delivered as complete")
+		}
+	}
+	if got := h.UpOfType(core.ULostMessage); len(got) != 1 {
+		t.Fatalf("LOST_MESSAGE not passed up: %v", got)
+	}
+}
+
+func TestTooSmallFragmentSizeFailsInit(t *testing.T) {
+	h := layertest.New(t, frag.New)
+	ep := h.Net.NewEndpoint("x")
+	if _, err := ep.Join("g", core.StackSpec{frag.NewWithSize(4)}, nil); err == nil {
+		t.Fatal("tiny fragment size accepted")
+	}
+}
+
+func TestSubsetSendFragmentsKeepDests(t *testing.T) {
+	h := layertest.New(t, frag.NewWithSize(64))
+	dests := []core.EndpointID{layertest.ID("p", 2)}
+	h.InjectDown(core.NewSend(message.New(bytes.Repeat([]byte("y"), 200)), dests))
+	for i, f := range h.DownOfType(core.DSend) {
+		if len(f.Dests) != 1 || f.Dests[0] != dests[0] {
+			t.Fatalf("fragment %d lost destinations: %v", i, f.Dests)
+		}
+	}
+	if n := len(h.DownOfType(core.DSend)); n < 3 {
+		t.Fatalf("%d send fragments, want >= 3", n)
+	}
+}

@@ -1,0 +1,1333 @@
+// Package mbrship implements the MBRSHIP layer (paper §5): group
+// membership with the flush protocol, providing virtual synchrony.
+//
+// MBRSHIP "simulates an environment for the members of a group in
+// which members can only fail (they cannot be slow or get
+// disconnected) and messages do not get lost". Each member holds a
+// view — an ordered list of members. Every member of the current view
+// either accepts the same next view or is removed from it, and a
+// message delivered in a view is delivered to all surviving members of
+// that view before the next view installs.
+//
+// At the heart of the layer is the flush protocol (Figure 2). When a
+// member crash is detected (a PROBLEM upcall from NAK, a flush
+// downcall from the application, or a verdict from an external failure
+// detector) the oldest surviving member of the oldest view becomes
+// coordinator — an election that needs no messages. The coordinator
+// broadcasts FLUSH; every member returns the messages that are not yet
+// known to be stable (all members log all unstable messages), then
+// replies FLUSH_OK and ignores further traffic from the failed
+// members. Once all FLUSH_OK replies are in, the coordinator
+// rebroadcasts the still-unstable messages and installs the new view.
+// If members fail during the flush, a new round starts immediately.
+//
+// View merging (the merge downcall / MERGE_REQUEST upcall) joins two
+// concurrent views: each side flushes its own view, then the contacted
+// coordinator installs the union. Joining a group is the degenerate
+// case — a fresh endpoint starts in a singleton view and merges in
+// (paper §11: "member join (actually, view merge)").
+//
+// MBRSHIP relies only on reliable FIFO channels from the layer below
+// (NAK). Properties: requires P3, P4, P10, P11, P12; provides P8, P9
+// (virtual synchrony) and P15 (consistent views).
+package mbrship
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/message"
+	"horus/internal/wire"
+)
+
+// Wire kinds.
+const (
+	kData       = 1  // multicast data {epoch, seq}
+	kSendData   = 2  // subset send pass-through
+	kSuspect    = 3  // suspicion report to coordinator {failed}
+	kFlush      = 4  // coordinator starts flush {round, failed}
+	kFwd        = 5  // unstable message forward {origin, epoch, seq, wire}
+	kFlushOK    = 6  // member completed flushing {round}
+	kView       = 7  // coordinator installs view {view}
+	kGossip     = 8  // stability gossip {origins, delivered counts}
+	kMergeReq   = 9  // merge request {requester view}
+	kMergeGrant = 10 // merge granted
+	kMergeDeny  = 11 // merge denied {reason}
+	kMergeReady = 12 // requester side flushed {survivors}
+	kLeave      = 13 // voluntary departure announcement
+)
+
+// states of the layer.
+const (
+	stNormal = iota
+	stFlushing
+	stMergingOut // we requested a merge and are flushing our view
+	stMergingIn  // we granted a merge and are flushing our view
+)
+
+// Defaults; override with Options.
+const (
+	defaultGossipPeriod = 100 * time.Millisecond
+	defaultFlushTimeout = 2 * time.Second
+	defaultMergeRetry   = 500 * time.Millisecond
+
+	// maxMergeTries bounds retry-timer firings per merge attempt
+	// before the requester gives up on an unresponsive target.
+	maxMergeTries = 5
+
+	// maxFutureBuffer bounds messages held because they were sent in a
+	// view newer than ours (the sender outran the view announcement).
+	maxFutureBuffer = 256
+)
+
+// Option configures the layer at construction.
+type Option func(*Mbrship)
+
+// WithGossipPeriod sets the stability-gossip interval.
+func WithGossipPeriod(d time.Duration) Option { return func(m *Mbrship) { m.gossipPeriod = d } }
+
+// WithFlushTimeout sets how long a member waits for flush progress
+// before suspecting the flush coordinator.
+func WithFlushTimeout(d time.Duration) Option { return func(m *Mbrship) { m.flushTimeout = d } }
+
+// WithMergeRetry sets the retry interval for unanswered merge
+// requests. Zero disables retries.
+func WithMergeRetry(d time.Duration) Option { return func(m *Mbrship) { m.mergeRetry = d } }
+
+// WithManualMergeGrant makes the layer surface MERGE_REQUEST upcalls
+// and wait for merge_granted / merge_denied downcalls, instead of
+// granting automatically.
+func WithManualMergeGrant() Option { return func(m *Mbrship) { m.manualGrant = true } }
+
+// WithExternalSuspicions makes the layer ignore PROBLEM upcalls from
+// the layer below; only flush downcalls (e.g. fed by an external
+// failure-detection service, §5) introduce suspicions.
+func WithExternalSuspicions() Option { return func(m *Mbrship) { m.externalFD = true } }
+
+// WithoutFlush disables unstable-message logging and forwarding: the
+// layer still agrees on views (property P15) but delivers only
+// *semi*-synchrony (P8) — messages in flight at a view change may be
+// lost for some survivors. This is the BMS decomposition of Table 3;
+// stack a FLUSH layer above to restore full virtual synchrony.
+func WithoutFlush() Option { return func(m *Mbrship) { m.noFlush = true } }
+
+// WithAppFlushOK makes the layer wait for a flush_ok downcall before
+// consenting to a flush, instead of consenting automatically. A layer
+// above (FLUSH, VSS) or the application uses the window between the
+// FLUSH upcall and its flush_ok to redistribute unstable messages.
+func WithAppFlushOK() Option { return func(m *Mbrship) { m.appFlushOK = true } }
+
+// WithName overrides the layer's protocol name (the BMS package
+// presents a renamed MBRSHIP variant).
+func WithName(name string) Option { return func(m *Mbrship) { m.name = name } }
+
+// WithPrimaryPartition enables the Isis-style primary-partition
+// progress restriction (paper §9): among concurrent views of a group
+// whose full membership counts total endpoints, only a view holding a
+// strict majority is *primary*. Views still form in minority
+// partitions (so healing by merge works unchanged), but VIEW upcalls
+// carry Primary=false and application casts are deferred until the
+// member is back in a primary view — the minority makes no progress.
+// The default (total = 0) treats every view as primary, the paper's
+// extended-virtual-synchrony configuration.
+func WithPrimaryPartition(total int) Option { return func(m *Mbrship) { m.quorumOf = total } }
+
+// New returns an MBRSHIP layer with default configuration.
+func New() core.Layer { return newMbrship() }
+
+// NewWith returns a factory with options applied.
+func NewWith(opts ...Option) core.Factory {
+	return func() core.Layer {
+		m := newMbrship()
+		for _, o := range opts {
+			o(m)
+		}
+		return m
+	}
+}
+
+func newMbrship() *Mbrship {
+	return &Mbrship{
+		gossipPeriod: defaultGossipPeriod,
+		flushTimeout: defaultFlushTimeout,
+		mergeRetry:   defaultMergeRetry,
+	}
+}
+
+// logEntry is one unstable message retained for flushing.
+type logEntry struct {
+	seq uint64
+	msg *message.Message // content at MBRSHIP level (upper headers + body)
+}
+
+// Mbrship is one MBRSHIP layer instance.
+type Mbrship struct {
+	core.Base
+
+	view  *core.View
+	epoch uint64 // view.ID.Seq shorthand
+
+	state int
+
+	// Data-path state, reset at each view installation.
+	castSeq   uint64                                         // my casts in this view
+	delivered map[core.EndpointID]uint64                     // contiguous per-origin delivery count
+	sparse    map[core.MsgID]bool                            // fwd-delivered beyond the contiguous prefix
+	log       map[core.EndpointID][]logEntry                 // unstable messages per origin
+	ackKnown  map[core.EndpointID]map[core.EndpointID]uint64 // member -> origin -> delivered
+
+	// Failure handling.
+	suspects map[core.EndpointID]bool
+
+	// Flush state.
+	flushCoord    core.EndpointID
+	flushRound    uint64
+	roundFailed   string                     // failure-set signature of the current round
+	answered      map[core.EndpointID]uint64 // highest round answered per coordinator
+	okFrom        map[core.EndpointID]bool
+	fwdPool       map[core.MsgID]fwdEntry
+	flushForMerge bool
+	flushCancel   func()
+	pendingCasts  []*message.Message // application casts deferred during flush
+	future        []*core.Event      // data from views we have not installed yet
+
+	// Merge state.
+	mergeTarget    core.EndpointID // outgoing: contacted coordinator
+	mergePeer      []core.EndpointID
+	mergePeerEpoch uint64
+	mergeReady     bool // incoming: requester flushed; outgoing: grant received
+	ownFlushDone   bool // incoming/outgoing: our side's flush finished
+	mergeTries     int  // retry-timer firings for the current attempt
+	mergeCancel    func()
+	pendingReqs    []*core.View // manual grant: requests awaiting the application
+
+	// Config.
+	gossipPeriod time.Duration
+	flushTimeout time.Duration
+	mergeRetry   time.Duration
+	manualGrant  bool
+	externalFD   bool
+	noFlush      bool
+	appFlushOK   bool
+	name         string
+	quorumOf     int // primary-partition mode: total membership; 0 = off
+
+	// Deferred flush consent (appFlushOK mode): the round we owe a
+	// flush_ok for, or nil.
+	consentCoord core.EndpointID
+	consentRound uint64
+	consentOwed  bool
+
+	gossipCancel func()
+	destroyed    bool
+	stats        Stats
+}
+
+// fwdEntry is one pooled unstable message at the flush coordinator.
+type fwdEntry struct {
+	origin core.EndpointID
+	seq    uint64
+	wire   []byte
+}
+
+// Stats counts membership activity.
+type Stats struct {
+	ViewsInstalled int
+	FlushRounds    int
+	FwdsSent       int
+	FwdsDelivered  int
+	StaleDropped   int // messages from old epochs or non-members dropped
+	MergesGranted  int
+	MergesDenied   int
+}
+
+// Name implements core.Layer.
+func (m *Mbrship) Name() string {
+	if m.name != "" {
+		return m.name
+	}
+	return "MBRSHIP"
+}
+
+// Stats returns a snapshot of the layer's counters.
+func (m *Mbrship) Stats() Stats { return m.stats }
+
+// View returns the current view (for Focus-based inspection).
+func (m *Mbrship) View() *core.View { return m.view }
+
+// Init implements core.Layer: the member starts in a singleton view
+// and begins gossiping. The initial view installs via a zero-delay
+// timer so the application's Join call has returned by then.
+func (m *Mbrship) Init(c *core.Context) error {
+	if err := m.Base.Init(c); err != nil {
+		return err
+	}
+	m.delivered = make(map[core.EndpointID]uint64)
+	m.sparse = make(map[core.MsgID]bool)
+	m.log = make(map[core.EndpointID][]logEntry)
+	m.ackKnown = make(map[core.EndpointID]map[core.EndpointID]uint64)
+	m.suspects = make(map[core.EndpointID]bool)
+	m.answered = make(map[core.EndpointID]uint64)
+	c.SetTimer(0, func() {
+		v := core.NewView(core.ViewID{Seq: 1, Coord: c.Self()}, c.GroupAddr(),
+			[]core.EndpointID{c.Self()})
+		m.install(v)
+	})
+	if m.gossipPeriod > 0 {
+		m.gossipCancel = c.SetTimer(m.gossipPeriod, m.gossipTick)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Downcalls
+
+// Down implements core.Layer.
+func (m *Mbrship) Down(ev *core.Event) {
+	switch ev.Type {
+	case core.DCast:
+		m.castDown(ev.Msg)
+	case core.DSend:
+		ev.Msg.PushUint8(kSendData)
+		m.Ctx.Down(ev)
+	case core.DFlush:
+		for _, f := range ev.Failed {
+			m.suspect(f)
+		}
+		m.maybeStartFlush(false)
+	case core.DFlushOK:
+		m.appConsents()
+	case core.DMerge:
+		m.startMerge(ev.Contact)
+	case core.DMergeGranted:
+		m.grantPending(ev.Contact, true, "")
+	case core.DMergeDenied:
+		m.grantPending(ev.Contact, false, ev.Reason)
+	case core.DLeave:
+		m.announceLeave()
+		m.Ctx.Down(ev)
+	case core.DDestroy:
+		m.shutdown()
+		m.Ctx.Down(ev)
+	case core.DDump:
+		ev.Dump = append(ev.Dump, "MBRSHIP: "+m.dumpLine())
+		m.Ctx.Down(ev)
+	default:
+		m.Ctx.Down(ev)
+	}
+}
+
+// Primary reports whether the current view may make progress: always
+// true unless the primary-partition restriction is on and this view
+// lacks a strict majority of the configured total membership.
+func (m *Mbrship) Primary() bool {
+	if m.quorumOf <= 0 {
+		return true
+	}
+	return m.view != nil && m.view.Size()*2 > m.quorumOf
+}
+
+// castDown sends (or defers) an application multicast.
+func (m *Mbrship) castDown(msg *message.Message) {
+	if m.view == nil || m.state != stNormal || !m.Primary() {
+		// New transmissions are blocked while a view change is in
+		// progress — or, under the primary-partition restriction,
+		// while this member sits in a minority partition. They go out
+		// in the next (primary) view.
+		m.pendingCasts = append(m.pendingCasts, msg)
+		return
+	}
+	m.castSeq++
+	seq := m.castSeq
+	// Log the message before pushing our header: if we survive a
+	// flush, our own unstable messages must be forwardable.
+	local := msg.Clone()
+	m.appendLog(m.Ctx.Self(), seq, local)
+	// The sender is a destination of its own multicast: deliver
+	// locally at once. The network copy that loops back is then
+	// deduplicated like any other.
+	m.recordDelivered(m.Ctx.Self(), seq)
+	msg.PushUint64(seq)
+	m.Ctx.Tracef("mbrship %s: cast seq=%d epoch=%d", m.Ctx.Self(), seq, m.epoch)
+	msg.PushUint64(m.epoch)
+	msg.PushUint8(kData)
+	m.Ctx.Down(&core.Event{Type: core.DCast, Msg: msg})
+	m.Ctx.Up(&core.Event{Type: core.UCast, Msg: local.Clone(), Source: m.Ctx.Self()})
+}
+
+// ---------------------------------------------------------------------------
+// Upcalls
+
+// Up implements core.Layer.
+func (m *Mbrship) Up(ev *core.Event) {
+	switch ev.Type {
+	case core.UCast, core.USend:
+		kind := ev.Msg.PopUint8()
+		m.dispatch(kind, ev)
+	case core.UProblem:
+		if !m.externalFD {
+			m.suspect(ev.Source)
+			m.maybeStartFlush(false)
+		}
+		m.Ctx.Up(ev)
+	case core.ULostMessage:
+		// A lost message at this level means NAK's retransmission
+		// buffer was trimmed. It is usually pre-join history a new
+		// member asked about (harmless: old-epoch data is dropped
+		// here anyway), so it is reported upward but not treated as a
+		// failure; genuinely silent members are caught by PROBLEM.
+		m.Ctx.Up(ev)
+	default:
+		m.Ctx.Up(ev)
+	}
+}
+
+func (m *Mbrship) dispatch(kind uint8, ev *core.Event) {
+	switch kind {
+	case kData:
+		m.receiveData(ev)
+	case kSendData:
+		m.Ctx.Up(ev)
+	case kSuspect:
+		epoch := ev.Msg.PopUint64()
+		list := wire.PopIDList(ev.Msg)
+		if epoch != m.epoch {
+			// A suspicion from a previous view — possibly seconds old,
+			// replayed by NAK retransmission after a partition healed.
+			// Acting on it would tear a freshly merged view apart.
+			m.stats.StaleDropped++
+			return
+		}
+		for _, f := range list {
+			m.suspect(f)
+		}
+		m.maybeStartFlush(false)
+	case kFlush:
+		m.receiveFlush(ev)
+	case kFwd:
+		m.receiveFwd(ev)
+	case kFlushOK:
+		m.receiveFlushOK(ev)
+	case kView:
+		m.receiveView(ev)
+	case kGossip:
+		m.receiveGossip(ev)
+	case kMergeReq:
+		m.receiveMergeReq(ev)
+	case kMergeGrant:
+		m.receiveMergeGrant(ev)
+	case kMergeDeny:
+		m.receiveMergeDeny(ev)
+	case kMergeReady:
+		m.receiveMergeReady(ev)
+	case kLeave:
+		if epoch := ev.Msg.PopUint64(); epoch != m.epoch {
+			m.stats.StaleDropped++
+			return
+		}
+		m.suspect(ev.Source)
+		m.Ctx.Up(&core.Event{Type: core.ULeave, Source: ev.Source})
+		m.maybeStartFlush(false)
+	}
+}
+
+// receiveData delivers an in-view multicast, enforcing epoch and
+// membership checks ("the members ignore messages that they may
+// receive from supposedly failed members", §5).
+func (m *Mbrship) receiveData(ev *core.Event) {
+	epoch := ev.Msg.PopUint64()
+	seq := ev.Msg.PopUint64()
+	src := ev.Source
+	if m.view != nil && epoch > m.epoch {
+		// Sent in a view we have not installed yet: the view
+		// announcement and the data travel on different FIFO channels,
+		// so a prompt sender can outrun the coordinator's kView. Hold
+		// the message until our view catches up.
+		if len(m.future) < maxFutureBuffer {
+			ev.Msg.PushUint64(seq) // restore the header for replay
+			ev.Msg.PushUint64(epoch)
+			m.future = append(m.future, ev)
+		} else {
+			m.stats.StaleDropped++
+		}
+		return
+	}
+	if m.view == nil || epoch != m.epoch || !m.view.Contains(src) || m.suspects[src] {
+		m.stats.StaleDropped++
+		return
+	}
+	if m.isDelivered(src, seq) {
+		return
+	}
+	m.appendLog(src, seq, ev.Msg.Clone())
+	m.recordDelivered(src, seq)
+	m.Ctx.Up(ev)
+}
+
+// isDelivered reports whether (src, seq) was already delivered in this
+// epoch, via the contiguous prefix or a flush forward.
+func (m *Mbrship) isDelivered(src core.EndpointID, seq uint64) bool {
+	if seq <= m.delivered[src] {
+		return true
+	}
+	return m.sparse[core.MsgID{Origin: src, Seq: seq}]
+}
+
+// recordDelivered advances the per-origin delivery state.
+func (m *Mbrship) recordDelivered(src core.EndpointID, seq uint64) {
+	id := core.MsgID{Origin: src, Seq: seq}
+	m.sparse[id] = true
+	for m.sparse[core.MsgID{Origin: src, Seq: m.delivered[src] + 1}] {
+		m.delivered[src]++
+		delete(m.sparse, core.MsgID{Origin: src, Seq: m.delivered[src]})
+	}
+}
+
+// appendLog retains an unstable message for future flushes. In BMS
+// mode (WithoutFlush) nothing is retained.
+func (m *Mbrship) appendLog(origin core.EndpointID, seq uint64, msg *message.Message) {
+	if m.noFlush {
+		return
+	}
+	m.log[origin] = append(m.log[origin], logEntry{seq: seq, msg: msg})
+}
+
+// ---------------------------------------------------------------------------
+// Suspicion and flush
+
+// suspect marks an endpoint faulty. Suspicions about non-members are
+// ignored.
+func (m *Mbrship) suspect(e core.EndpointID) {
+	if m.view == nil || !m.view.Contains(e) || e == m.Ctx.Self() {
+		return
+	}
+	if !m.suspects[e] {
+		m.Ctx.Tracef("mbrship %s: suspecting %s", m.Ctx.Self(), e)
+	}
+	m.suspects[e] = true
+}
+
+// survivors returns the current view minus suspects.
+func (m *Mbrship) survivors() []core.EndpointID {
+	if m.view == nil {
+		return nil
+	}
+	out := make([]core.EndpointID, 0, len(m.view.Members))
+	for _, e := range m.view.Members {
+		if !m.suspects[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// coordinator returns the oldest surviving member — the paper's
+// message-free election (§5 footnote 1).
+func (m *Mbrship) coordinator() core.EndpointID {
+	surv := m.survivors()
+	if len(surv) == 0 {
+		return m.Ctx.Self()
+	}
+	oldest := surv[0]
+	for _, e := range surv[1:] {
+		if e.Older(oldest) {
+			oldest = e
+		}
+	}
+	return oldest
+}
+
+// maybeStartFlush starts (or restarts) a flush round if this member is
+// the coordinator and there is something to flush. forMerge starts a
+// failure-free flush used to stabilize a view before merging.
+func (m *Mbrship) maybeStartFlush(forMerge bool) {
+	if m.view == nil {
+		return
+	}
+	if !forMerge && len(m.suspects) == 0 {
+		return
+	}
+	coord := m.coordinator()
+	if coord != m.Ctx.Self() {
+		// Not coordinator: report what we suspect and let the flush
+		// timeout catch a dead coordinator.
+		if len(m.suspects) > 0 {
+			m.sendSuspects(coord)
+			m.armFlushTimer()
+		}
+		return
+	}
+	// A round for this exact failure set is already under way; starting
+	// another would only churn.
+	if !forMerge && m.flushCoord == m.Ctx.Self() && m.state == stFlushing &&
+		m.roundFailed == fmt.Sprint(m.failedList()) {
+		return
+	}
+	m.startFlushRound(forMerge)
+}
+
+// sendSuspects reports our suspicion set to the coordinator.
+func (m *Mbrship) sendSuspects(coord core.EndpointID) {
+	ids := make([]core.EndpointID, 0, len(m.suspects))
+	for e := range m.suspects {
+		ids = append(ids, e)
+	}
+	sortIDs(ids)
+	msg := message.New(nil)
+	wire.PushIDList(msg, ids)
+	msg.PushUint64(m.epoch)
+	msg.PushUint8(kSuspect)
+	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: []core.EndpointID{coord}})
+}
+
+// startFlushRound begins a flush with this member as coordinator.
+func (m *Mbrship) startFlushRound(forMerge bool) {
+	m.flushRound++
+	m.stats.FlushRounds++
+	m.flushCoord = m.Ctx.Self()
+	m.flushForMerge = m.flushForMerge || forMerge
+	if m.state == stNormal {
+		m.state = stFlushing
+	}
+	m.okFrom = map[core.EndpointID]bool{}
+	if m.appFlushOK {
+		// The coordinator owes itself a consent too: the layer above
+		// must flush before the round can complete.
+		m.consentCoord = m.Ctx.Self()
+		m.consentRound = m.flushRound
+		m.consentOwed = true
+	} else {
+		m.okFrom[m.Ctx.Self()] = true
+	}
+	if m.fwdPool == nil {
+		m.fwdPool = make(map[core.MsgID]fwdEntry)
+	}
+	m.poolOwnLog()
+
+	failed := m.failedList()
+	m.roundFailed = fmt.Sprint(failed)
+	m.Ctx.Tracef("mbrship %s: flush round %d, failed=%v", m.Ctx.Self(), m.flushRound, failed)
+	m.Ctx.Up(&core.Event{Type: core.UFlush, Failed: failed})
+
+	msg := message.New(nil)
+	wire.PushIDList(msg, failed)
+	msg.PushUint64(m.flushRound)
+	msg.PushUint64(m.epoch)
+	msg.PushUint8(kFlush)
+	dests := m.othersOf(m.survivors())
+	if len(dests) > 0 {
+		m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: dests})
+	}
+	m.armFlushTimer()
+	m.checkFlushComplete()
+}
+
+// failedList returns the sorted suspicion set.
+func (m *Mbrship) failedList() []core.EndpointID {
+	ids := make([]core.EndpointID, 0, len(m.suspects))
+	for e := range m.suspects {
+		ids = append(ids, e)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// receiveFlush is a member's side of the flush: return all unstable
+// messages, then consent.
+func (m *Mbrship) receiveFlush(ev *core.Event) {
+	epoch := ev.Msg.PopUint64()
+	round := ev.Msg.PopUint64()
+	failed := wire.PopIDList(ev.Msg)
+	coord := ev.Source
+	if epoch != m.epoch {
+		m.stats.StaleDropped++
+		return
+	}
+	if m.view == nil || !m.view.Contains(coord) {
+		return
+	}
+	if m.answered[coord] >= round {
+		return
+	}
+	m.answered[coord] = round
+	for _, f := range failed {
+		m.suspect(f)
+	}
+	if m.state == stNormal {
+		m.state = stFlushing
+	}
+	m.flushCoord = coord
+	// Record the owed consent *before* the FLUSH upcall: a layer
+	// above may complete its own exchange and send flush_ok down
+	// synchronously from within the upcall.
+	if m.appFlushOK {
+		m.consentCoord = coord
+		m.consentRound = round
+		m.consentOwed = true
+	}
+	m.forwardLog(coord)
+	m.Ctx.Up(&core.Event{Type: core.UFlush, Failed: failed})
+	if !m.appFlushOK {
+		m.sendConsent(coord, round)
+	}
+	m.armFlushTimer()
+}
+
+// sendConsent sends the FLUSH_OK reply.
+func (m *Mbrship) sendConsent(coord core.EndpointID, round uint64) {
+	ok := message.New(nil)
+	ok.PushUint64(round)
+	ok.PushUint8(kFlushOK)
+	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: ok, Dests: []core.EndpointID{coord}})
+}
+
+// appConsents resolves a deferred flush consent (flush_ok downcall).
+func (m *Mbrship) appConsents() {
+	if !m.consentOwed {
+		return
+	}
+	m.consentOwed = false
+	if m.consentCoord == m.Ctx.Self() {
+		if m.okFrom != nil {
+			m.okFrom[m.Ctx.Self()] = true
+			m.checkFlushComplete()
+		}
+		return
+	}
+	m.sendConsent(m.consentCoord, m.consentRound)
+}
+
+// forwardLog sends every logged unstable message to the coordinator.
+func (m *Mbrship) forwardLog(coord core.EndpointID) {
+	origins := make([]core.EndpointID, 0, len(m.log))
+	for o := range m.log {
+		origins = append(origins, o)
+	}
+	sortIDs(origins)
+	for _, origin := range origins {
+		for _, entry := range m.log[origin] {
+			fwd := message.New(entry.msg.Marshal())
+			fwd.PushUint64(entry.seq)
+			fwd.PushUint64(m.epoch)
+			wire.PushEndpointID(fwd, origin)
+			fwd.PushUint8(kFwd)
+			m.stats.FwdsSent++
+			m.Ctx.Down(&core.Event{Type: core.DSend, Msg: fwd, Dests: []core.EndpointID{coord}})
+		}
+	}
+}
+
+// poolOwnLog adds the coordinator's own unstable log to the forward
+// pool.
+func (m *Mbrship) poolOwnLog() {
+	for origin, entries := range m.log {
+		for _, entry := range entries {
+			id := core.MsgID{Origin: origin, Seq: entry.seq}
+			if _, dup := m.fwdPool[id]; !dup {
+				m.fwdPool[id] = fwdEntry{origin: origin, seq: entry.seq, wire: entry.msg.Marshal()}
+			}
+		}
+	}
+}
+
+// receiveFwd handles an unstable-message forward, at the coordinator
+// (collection phase) or at a member (rebroadcast phase). Either way
+// the message is delivered locally if it has not been yet.
+func (m *Mbrship) receiveFwd(ev *core.Event) {
+	origin := wire.PopEndpointID(ev.Msg)
+	epoch := ev.Msg.PopUint64()
+	seq := ev.Msg.PopUint64()
+	if epoch != m.epoch {
+		m.stats.StaleDropped++
+		return
+	}
+	wireBytes := append([]byte(nil), ev.Msg.Body()...)
+	id := core.MsgID{Origin: origin, Seq: seq}
+	if m.fwdPool != nil {
+		if _, dup := m.fwdPool[id]; !dup {
+			m.fwdPool[id] = fwdEntry{origin: origin, seq: seq, wire: wireBytes}
+		}
+	}
+	if m.isDelivered(origin, seq) {
+		return
+	}
+	inner, err := message.Unmarshal(wireBytes)
+	if err != nil {
+		return
+	}
+	m.appendLog(origin, seq, inner.Clone())
+	m.recordDelivered(origin, seq)
+	m.stats.FwdsDelivered++
+	m.Ctx.Up(&core.Event{Type: core.UCast, Msg: inner, Source: origin})
+}
+
+// receiveFlushOK collects consents at the coordinator.
+func (m *Mbrship) receiveFlushOK(ev *core.Event) {
+	round := ev.Msg.PopUint64()
+	if m.flushCoord != m.Ctx.Self() || round != m.flushRound || m.okFrom == nil {
+		return
+	}
+	m.okFrom[ev.Source] = true
+	m.checkFlushComplete()
+}
+
+// checkFlushComplete finishes the flush once every survivor consented:
+// rebroadcast the pooled unstable messages, then install the new view.
+func (m *Mbrship) checkFlushComplete() {
+	if m.flushCoord != m.Ctx.Self() || m.okFrom == nil {
+		return
+	}
+	surv := m.survivors()
+	for _, e := range surv {
+		if !m.okFrom[e] {
+			return
+		}
+	}
+	// A merge flush waits for the requester side before installing.
+	if m.state == stMergingIn && !m.mergeReady {
+		m.ownFlushDone = true
+		return
+	}
+	if m.state == stMergingOut {
+		if !m.ownFlushDone {
+			m.ownFlushDone = true
+			// Our old view's unstable messages must reach our own
+			// survivors before they move to the union view.
+			m.rebroadcastPool(surv)
+			m.sendMergeReady()
+		}
+		return
+	}
+	m.rebroadcastPool(surv)
+	members := surv
+	if m.state == stMergingIn {
+		members = unionIDs(surv, m.mergePeer)
+	}
+	m.installNewView(members)
+}
+
+// rebroadcastPool sends every pooled unstable message to the given
+// members (receivers deduplicate).
+func (m *Mbrship) rebroadcastPool(members []core.EndpointID) {
+	dests := m.othersOf(members)
+	if len(dests) == 0 {
+		return
+	}
+	ids := make([]core.MsgID, 0, len(m.fwdPool))
+	for id := range m.fwdPool {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Origin != ids[j].Origin {
+			return ids[i].Origin.Older(ids[j].Origin)
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	for _, id := range ids {
+		e := m.fwdPool[id]
+		fwd := message.New(e.wire)
+		fwd.PushUint64(e.seq)
+		fwd.PushUint64(m.epoch)
+		wire.PushEndpointID(fwd, e.origin)
+		fwd.PushUint8(kFwd)
+		m.stats.FwdsSent++
+		m.Ctx.Down(&core.Event{Type: core.DSend, Msg: fwd, Dests: dests})
+	}
+}
+
+// installNewView multicasts and installs the successor view. The new
+// view's sequence number exceeds both our epoch and (for merges) the
+// peer view's epoch, so every member accepts it as younger.
+func (m *Mbrship) installNewView(members []core.EndpointID) {
+	seq := m.epoch
+	if m.mergePeerEpoch > seq {
+		seq = m.mergePeerEpoch
+	}
+	v := core.NewView(core.ViewID{Seq: seq + 1, Coord: m.Ctx.Self()},
+		m.Ctx.GroupAddr(), members)
+	msg := message.New(nil)
+	wire.PushView(msg, v)
+	msg.PushUint8(kView)
+	dests := m.othersOf(members)
+	if len(dests) > 0 {
+		m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: dests})
+	}
+	m.install(v)
+}
+
+// receiveView installs a view announced by a flush or merge
+// coordinator.
+func (m *Mbrship) receiveView(ev *core.Event) {
+	v := wire.PopView(ev.Msg)
+	if m.view != nil && !m.view.ID.Older(v.ID) {
+		m.stats.StaleDropped++
+		return
+	}
+	if !v.Contains(m.Ctx.Self()) {
+		// Excluded from the successor view; we keep our current view
+		// and will eventually form a singleton and merge back.
+		return
+	}
+	m.install(v)
+}
+
+// install makes v the current view: upcall VIEW, downcall view, and
+// reset all per-epoch state.
+func (m *Mbrship) install(v *core.View) {
+	m.view = v
+	m.epoch = v.ID.Seq
+	m.state = stNormal
+	m.castSeq = 0
+	m.delivered = make(map[core.EndpointID]uint64)
+	m.sparse = make(map[core.MsgID]bool)
+	m.log = make(map[core.EndpointID][]logEntry)
+	m.ackKnown = make(map[core.EndpointID]map[core.EndpointID]uint64)
+	m.suspects = make(map[core.EndpointID]bool)
+	m.okFrom = nil
+	m.fwdPool = nil
+	m.flushForMerge = false
+	m.flushCoord = core.EndpointID{}
+	m.mergeTarget = core.EndpointID{}
+	m.mergePeer = nil
+	m.mergePeerEpoch = 0
+	m.mergeReady = false
+	m.ownFlushDone = false
+	m.consentOwed = false
+	m.cancelTimer(&m.flushCancel)
+	m.cancelTimer(&m.mergeCancel)
+	m.stats.ViewsInstalled++
+	m.Ctx.Tracef("mbrship %s: install %v", m.Ctx.Self(), v)
+
+	// Tell the layers below about the new destination set, tell the
+	// application a flush (if any) completed, and install the view.
+	m.Ctx.Down(&core.Event{Type: core.DView, View: v})
+	if m.stats.ViewsInstalled > 1 {
+		m.Ctx.Up(&core.Event{Type: core.UFlushOK})
+	}
+	m.Ctx.Up(&core.Event{Type: core.UView, View: v, Primary: m.Primary()})
+
+	// Replay data that arrived for this view before we installed it
+	// (senders can outrun the coordinator's view announcement).
+	future := m.future
+	m.future = nil
+	for _, fev := range future {
+		m.receiveData(fev)
+	}
+
+	// Release casts deferred during the view change — unless this is a
+	// minority view under the primary-partition restriction, in which
+	// case they stay deferred until the member rejoins a primary view.
+	if !m.Primary() {
+		return
+	}
+	pending := m.pendingCasts
+	m.pendingCasts = nil
+	for _, msg := range pending {
+		m.castDown(msg)
+	}
+}
+
+// armFlushTimer (re)arms the watchdog that suspects a dead flush
+// coordinator.
+func (m *Mbrship) armFlushTimer() {
+	m.cancelTimer(&m.flushCancel)
+	if m.flushTimeout <= 0 {
+		return
+	}
+	m.flushCancel = m.Ctx.SetTimer(m.flushTimeout, func() {
+		m.flushCancel = nil
+		if m.state == stNormal || m.destroyed {
+			return
+		}
+		if m.state == stMergingIn && m.ownFlushDone && !m.mergeReady {
+			// The requester vanished between grant and merge_ready.
+			// Our own flush is complete (everyone consented), so
+			// finish it *as a flush*: installing the survivors view
+			// releases the members who consented and are waiting —
+			// leaving them hanging would make them suspect us.
+			m.state = stFlushing
+			m.mergePeer = nil
+			m.mergePeerEpoch = 0
+			m.ownFlushDone = false
+			m.rebroadcastPool(m.survivors())
+			m.installNewView(m.survivors())
+			return
+		}
+		if m.flushCoord != m.Ctx.Self() && !m.flushCoord.IsZero() {
+			m.suspect(m.flushCoord)
+		}
+		// Whoever is now the oldest survivor restarts the flush.
+		m.maybeStartFlush(false)
+		m.armFlushTimer()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Stability gossip
+
+// gossipTick multicasts this member's delivery vector; peers merge it
+// and trim their unstable logs (all members must log all unstable
+// messages — and only unstable ones, §5).
+func (m *Mbrship) gossipTick() {
+	if m.destroyed {
+		return
+	}
+	m.gossipCancel = m.Ctx.SetTimer(m.gossipPeriod, m.gossipTick)
+	if m.view == nil || m.view.Size() < 2 || m.state != stNormal {
+		return
+	}
+	origins := append([]core.EndpointID(nil), m.view.Members...)
+	counts := make([]uint64, len(origins))
+	for i, o := range origins {
+		counts[i] = m.delivered[o]
+	}
+	msg := message.New(nil)
+	wire.PushCounts(msg, counts)
+	wire.PushIDList(msg, origins)
+	msg.PushUint64(m.epoch)
+	msg.PushUint8(kGossip)
+	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: m.othersOf(m.view.Members)})
+	// Our own vector participates in the stability computation.
+	m.mergeAcks(m.Ctx.Self(), origins, counts)
+	m.trimLog()
+}
+
+// receiveGossip merges a peer's delivery vector.
+func (m *Mbrship) receiveGossip(ev *core.Event) {
+	epoch := ev.Msg.PopUint64()
+	origins := wire.PopIDList(ev.Msg)
+	counts := wire.PopCounts(ev.Msg)
+	if epoch != m.epoch || len(origins) != len(counts) {
+		return
+	}
+	m.mergeAcks(ev.Source, origins, counts)
+	m.trimLog()
+}
+
+func (m *Mbrship) mergeAcks(member core.EndpointID, origins []core.EndpointID, counts []uint64) {
+	known := m.ackKnown[member]
+	if known == nil {
+		known = make(map[core.EndpointID]uint64)
+		m.ackKnown[member] = known
+	}
+	for i, o := range origins {
+		if counts[i] > known[o] {
+			known[o] = counts[i]
+		}
+	}
+}
+
+// trimLog drops log entries that every current member has delivered.
+func (m *Mbrship) trimLog() {
+	if m.view == nil {
+		return
+	}
+	for origin, entries := range m.log {
+		min := ^uint64(0)
+		for _, member := range m.view.Members {
+			known := m.ackKnown[member]
+			if known == nil {
+				min = 0
+				break
+			}
+			if c := known[origin]; c < min {
+				min = c
+			}
+		}
+		if min == 0 {
+			continue
+		}
+		keep := entries[:0]
+		for _, e := range entries {
+			if e.seq > min {
+				keep = append(keep, e)
+			}
+		}
+		m.log[origin] = keep
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Merging
+
+// startMerge contacts the coordinator of another view.
+func (m *Mbrship) startMerge(contact core.EndpointID) {
+	if m.view == nil || contact == m.Ctx.Self() || m.view.Contains(contact) {
+		return
+	}
+	if m.coordinator() != m.Ctx.Self() || m.state != stNormal {
+		// Only an idle coordinator merges; the MERGE layer retries.
+		m.Ctx.Up(&core.Event{Type: core.UMergeDenied, Contact: contact,
+			Reason: "local member busy or not coordinator"})
+		return
+	}
+	m.state = stMergingOut
+	m.mergeTarget = contact
+	m.mergeTries = 0
+	m.sendMergeReq()
+	m.armMergeTimer()
+}
+
+func (m *Mbrship) sendMergeReq() {
+	msg := message.New(nil)
+	wire.PushView(msg, m.view)
+	msg.PushUint8(kMergeReq)
+	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: []core.EndpointID{m.mergeTarget}})
+}
+
+// armMergeTimer retries or abandons an unanswered merge request.
+func (m *Mbrship) armMergeTimer() {
+	m.cancelTimer(&m.mergeCancel)
+	if m.mergeRetry <= 0 {
+		return
+	}
+	m.mergeCancel = m.Ctx.SetTimer(m.mergeRetry, func() {
+		m.mergeCancel = nil
+		if m.state != stMergingOut || m.destroyed {
+			return
+		}
+		m.mergeTries++
+		if m.mergeTries > maxMergeTries {
+			// The target stopped responding (crashed, or abandoned
+			// the merge). Give up; the MERGE layer or application
+			// will try again from scratch.
+			target := m.mergeTarget
+			m.state = stNormal
+			m.mergeTarget = core.EndpointID{}
+			m.mergeReady = false
+			m.ownFlushDone = false
+			m.mergeTries = 0
+			m.Ctx.Up(&core.Event{Type: core.UMergeDenied, Contact: target,
+				Reason: "merge target unresponsive"})
+			return
+		}
+		if m.ownFlushDone {
+			// Grant received and our flush finished: the target may
+			// have missed merge_ready; resend it.
+			m.sendMergeReady()
+		} else if m.mergeReady {
+			// Grant received; flush still in progress — keep waiting.
+		} else {
+			m.sendMergeReq()
+		}
+		m.armMergeTimer()
+	})
+}
+
+// receiveMergeReq handles a merge request from another view's
+// coordinator.
+func (m *Mbrship) receiveMergeReq(ev *core.Event) {
+	reqView := wire.PopView(ev.Msg)
+	requester := ev.Source
+	deny := func(reason string) {
+		m.stats.MergesDenied++
+		msg := message.New(nil)
+		msg.PushString(reason)
+		msg.PushUint8(kMergeDeny)
+		m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: []core.EndpointID{requester}})
+	}
+	if m.view == nil || m.view.Contains(requester) {
+		return
+	}
+	if m.coordinator() != m.Ctx.Self() {
+		deny("not coordinator")
+		return
+	}
+	switch m.state {
+	case stNormal:
+		// Free to merge.
+	case stMergingOut:
+		// Symmetric merge attempt: we asked them while they asked us.
+		// The older endpoint coordinates, so if the requester is
+		// exactly our target and younger than us, abandon our own
+		// attempt and absorb them instead. Requests from anyone else
+		// while we are merging outward are denied — absorbing a third
+		// party here would strand the coordinator we already asked.
+		if requester == m.mergeTarget && m.Ctx.Self().Older(requester) {
+			m.state = stNormal
+			m.mergeTarget = core.EndpointID{}
+			m.mergeReady = false
+			m.ownFlushDone = false
+			m.cancelTimer(&m.mergeCancel)
+		} else {
+			deny("busy merging elsewhere")
+			return
+		}
+	default:
+		deny("busy")
+		return
+	}
+	if m.manualGrant {
+		m.pendingReqs = append(m.pendingReqs, reqView)
+		m.Ctx.Up(&core.Event{Type: core.UMergeRequest, Contact: requester, View: reqView})
+		return
+	}
+	m.acceptMerge(reqView)
+}
+
+// grantPending resolves a manual-grant decision from the application.
+func (m *Mbrship) grantPending(contact core.EndpointID, grant bool, reason string) {
+	for i, rv := range m.pendingReqs {
+		if rv.ID.Coord == contact || rv.Contains(contact) {
+			m.pendingReqs = append(m.pendingReqs[:i], m.pendingReqs[i+1:]...)
+			if grant {
+				m.acceptMerge(rv)
+			} else {
+				m.stats.MergesDenied++
+				msg := message.New(nil)
+				msg.PushString(reason)
+				msg.PushUint8(kMergeDeny)
+				m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg,
+					Dests: []core.EndpointID{rv.ID.Coord}})
+			}
+			return
+		}
+	}
+}
+
+// acceptMerge grants a merge and flushes our side.
+func (m *Mbrship) acceptMerge(reqView *core.View) {
+	if m.state != stNormal {
+		return
+	}
+	m.stats.MergesGranted++
+	m.state = stMergingIn
+	m.mergePeer = append([]core.EndpointID(nil), reqView.Members...)
+	m.mergeReady = false
+	m.ownFlushDone = false
+	grant := message.New(nil)
+	grant.PushUint8(kMergeGrant)
+	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: grant,
+		Dests: []core.EndpointID{reqView.ID.Coord}})
+	m.startFlushRound(true)
+}
+
+// receiveMergeGrant starts the requester side's flush.
+func (m *Mbrship) receiveMergeGrant(ev *core.Event) {
+	if m.state != stMergingOut || ev.Source != m.mergeTarget {
+		return
+	}
+	m.mergeReady = true // grant received; flush next
+	m.startFlushRound(true)
+}
+
+// receiveMergeDeny abandons the merge attempt and tells the
+// application.
+func (m *Mbrship) receiveMergeDeny(ev *core.Event) {
+	reason := ev.Msg.PopString()
+	if m.state != stMergingOut || ev.Source != m.mergeTarget {
+		return
+	}
+	m.state = stNormal
+	m.mergeTarget = core.EndpointID{}
+	m.mergeReady = false
+	m.ownFlushDone = false
+	m.cancelTimer(&m.mergeCancel)
+	m.Ctx.Up(&core.Event{Type: core.UMergeDenied, Contact: ev.Source, Reason: reason})
+}
+
+// sendMergeReady tells the target coordinator that our side is
+// flushed, listing our survivors and our epoch (the union view must
+// outnumber both sides' epochs).
+func (m *Mbrship) sendMergeReady() {
+	msg := message.New(nil)
+	msg.PushUint64(m.epoch)
+	wire.PushIDList(msg, m.survivors())
+	msg.PushUint8(kMergeReady)
+	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: []core.EndpointID{m.mergeTarget}})
+}
+
+// receiveMergeReady completes the merge at the granting coordinator.
+func (m *Mbrship) receiveMergeReady(ev *core.Event) {
+	peers := wire.PopIDList(ev.Msg)
+	epoch := ev.Msg.PopUint64()
+	if m.state != stMergingIn {
+		return
+	}
+	m.mergePeer = peers
+	m.mergePeerEpoch = epoch
+	m.mergeReady = true
+	m.checkFlushComplete()
+}
+
+// ---------------------------------------------------------------------------
+// Leave, destroy, helpers
+
+// announceLeave tells the group we are going ("a failed process is
+// automatically dropped; leaving is the polite version").
+func (m *Mbrship) announceLeave() {
+	if m.view == nil || m.view.Size() < 2 {
+		return
+	}
+	msg := message.New(nil)
+	msg.PushUint64(m.epoch)
+	msg.PushUint8(kLeave)
+	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: m.othersOf(m.view.Members)})
+}
+
+func (m *Mbrship) shutdown() {
+	m.destroyed = true
+	m.cancelTimer(&m.gossipCancel)
+	m.cancelTimer(&m.flushCancel)
+	m.cancelTimer(&m.mergeCancel)
+}
+
+func (m *Mbrship) cancelTimer(t *func()) {
+	if *t != nil {
+		(*t)()
+		*t = nil
+	}
+}
+
+// othersOf filters self out of a member list.
+func (m *Mbrship) othersOf(members []core.EndpointID) []core.EndpointID {
+	out := make([]core.EndpointID, 0, len(members))
+	for _, e := range members {
+		if e != m.Ctx.Self() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (m *Mbrship) dumpLine() string {
+	view := "none"
+	if m.view != nil {
+		view = m.view.String()
+	}
+	return fmt.Sprintf("view=%s state=%d suspects=%d logged=%d views=%d flushes=%d",
+		view, m.state, len(m.suspects), m.logSize(), m.stats.ViewsInstalled, m.stats.FlushRounds)
+}
+
+func (m *Mbrship) logSize() int {
+	n := 0
+	for _, entries := range m.log {
+		n += len(entries)
+	}
+	return n
+}
+
+func sortIDs(ids []core.EndpointID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Older(ids[j]) })
+}
+
+func unionIDs(a, b []core.EndpointID) []core.EndpointID {
+	seen := make(map[core.EndpointID]bool, len(a)+len(b))
+	out := make([]core.EndpointID, 0, len(a)+len(b))
+	for _, e := range a {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	for _, e := range b {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	sortIDs(out)
+	return out
+}

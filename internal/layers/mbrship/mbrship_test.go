@@ -1,0 +1,189 @@
+package mbrship_test
+
+import (
+	"testing"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/layers/mbrship"
+	"horus/internal/layertest"
+	"horus/internal/message"
+)
+
+// Unit tests through the single-layer harness; multi-member protocol
+// behaviour (flush, merge, virtual synchrony) is covered by
+// internal/integration.
+
+func newHarness(t *testing.T, opts ...mbrship.Option) *layertest.Harness {
+	t.Helper()
+	base := []mbrship.Option{
+		mbrship.WithGossipPeriod(20 * time.Millisecond),
+		mbrship.WithFlushTimeout(200 * time.Millisecond),
+	}
+	h := layertest.New(t, mbrship.NewWith(append(base, opts...)...))
+	h.Run(time.Millisecond) // fire the initial singleton-view timer
+	return h
+}
+
+func TestInstallsSingletonViewOnInit(t *testing.T) {
+	h := newHarness(t)
+	views := h.UpOfType(core.UView)
+	if len(views) != 1 {
+		t.Fatalf("views = %d, want the initial singleton", len(views))
+	}
+	v := views[0].View
+	if v.Size() != 1 || v.Members[0] != h.Self() || v.ID.Seq != 1 {
+		t.Fatalf("initial view = %v", v)
+	}
+	// The view also propagated downward as a view downcall.
+	if got := h.DownOfType(core.DView); len(got) != 1 {
+		t.Fatalf("view downcalls = %d", len(got))
+	}
+	if !views[0].Primary {
+		t.Error("default mode must mark every view primary")
+	}
+}
+
+func TestSelfDeliversOwnCast(t *testing.T) {
+	h := newHarness(t)
+	h.InjectDown(core.NewCast(message.New([]byte("me too"))))
+	got := h.UpOfType(core.UCast)
+	if len(got) != 1 || string(got[0].Msg.Body()) != "me too" || got[0].Source != h.Self() {
+		t.Fatalf("self delivery = %v", got)
+	}
+	// And the network copy went out.
+	if sent := h.DownOfType(core.DCast); len(sent) != 1 {
+		t.Fatalf("casts sent = %d", len(sent))
+	}
+}
+
+func TestStaleEpochDataDropped(t *testing.T) {
+	h := newHarness(t)
+	peer := layertest.ID("p", 2)
+	// Data stamped with epoch 0 (before our view 1) from an unknown
+	// member must not surface.
+	m := message.New([]byte("ghost"))
+	m.PushUint64(7) // seq
+	m.PushUint64(0) // epoch
+	m.PushUint8(1)  // kData
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: m, Source: peer})
+	for _, ev := range h.UpOfType(core.UCast) {
+		if string(ev.Msg.Body()) == "ghost" {
+			t.Fatal("stale-epoch data delivered")
+		}
+	}
+	l := h.G.Focus("MBRSHIP").(*mbrship.Mbrship)
+	if l.Stats().StaleDropped == 0 {
+		t.Error("StaleDropped not counted")
+	}
+}
+
+func TestFutureEpochDataBufferedUntilView(t *testing.T) {
+	h := newHarness(t)
+	peer := layertest.ID("p", 2)
+	// Data from epoch 2 arrives before we install view 2.
+	m := message.New([]byte("early"))
+	m.PushUint64(1) // seq
+	m.PushUint64(2) // epoch
+	m.PushUint8(1)  // kData
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: m, Source: peer})
+	for _, ev := range h.UpOfType(core.UCast) {
+		if string(ev.Msg.Body()) == "early" {
+			t.Fatal("future-epoch data delivered before its view")
+		}
+	}
+	// The view arrives (as the coordinator would announce it).
+	v := core.NewView(core.ViewID{Seq: 2, Coord: peer}, "test",
+		[]core.EndpointID{peer, h.Self()})
+	vm := message.New(nil)
+	pushView(vm, v)
+	vm.PushUint8(7) // kView
+	h.InjectUp(&core.Event{Type: core.USend, Msg: vm, Source: peer})
+
+	delivered := false
+	for _, ev := range h.UpOfType(core.UCast) {
+		if string(ev.Msg.Body()) == "early" {
+			delivered = true
+		}
+	}
+	if !delivered {
+		t.Fatal("buffered future-epoch data not replayed at view install")
+	}
+}
+
+func TestOlderViewAnnouncementIgnored(t *testing.T) {
+	h := newHarness(t)
+	peer := layertest.ID("p", 2)
+	// First a view 3 installs...
+	v3 := core.NewView(core.ViewID{Seq: 3, Coord: peer}, "test",
+		[]core.EndpointID{peer, h.Self()})
+	m3 := message.New(nil)
+	pushView(m3, v3)
+	m3.PushUint8(7)
+	h.InjectUp(&core.Event{Type: core.USend, Msg: m3, Source: peer})
+	// ...then a stale view 2 arrives late.
+	v2 := core.NewView(core.ViewID{Seq: 2, Coord: peer}, "test",
+		[]core.EndpointID{peer})
+	m2 := message.New(nil)
+	pushView(m2, v2)
+	m2.PushUint8(7)
+	h.InjectUp(&core.Event{Type: core.USend, Msg: m2, Source: peer})
+
+	l := h.G.Focus("MBRSHIP").(*mbrship.Mbrship)
+	if got := l.View().ID.Seq; got != 3 {
+		t.Fatalf("current view seq = %d, want 3 (older announcement accepted)", got)
+	}
+}
+
+func TestViewExcludingSelfIgnored(t *testing.T) {
+	h := newHarness(t)
+	peer := layertest.ID("p", 2)
+	v := core.NewView(core.ViewID{Seq: 5, Coord: peer}, "test",
+		[]core.EndpointID{peer})
+	m := message.New(nil)
+	pushView(m, v)
+	m.PushUint8(7)
+	h.InjectUp(&core.Event{Type: core.USend, Msg: m, Source: peer})
+	l := h.G.Focus("MBRSHIP").(*mbrship.Mbrship)
+	if l.View().ID.Seq != 1 {
+		t.Fatal("adopted a view that excludes us")
+	}
+}
+
+func TestPrimaryPartitionFlag(t *testing.T) {
+	h := newHarness(t, mbrship.WithPrimaryPartition(5))
+	// Singleton of a 5-member group: not primary; casts defer.
+	views := h.UpOfType(core.UView)
+	if len(views) != 1 || views[0].Primary {
+		t.Fatalf("singleton view of 5 marked primary: %v", views)
+	}
+	h.InjectDown(core.NewCast(message.New([]byte("blocked"))))
+	if got := h.DownOfType(core.DCast); len(got) != 0 {
+		t.Fatal("minority member cast escaped")
+	}
+	l := h.G.Focus("MBRSHIP").(*mbrship.Mbrship)
+	if l.Primary() {
+		t.Fatal("Primary() true for 1 of 5")
+	}
+}
+
+func TestGossipSkipsSingleton(t *testing.T) {
+	h := newHarness(t)
+	h.Run(200 * time.Millisecond)
+	for _, ev := range h.DownOfType(core.DSend) {
+		t.Fatalf("singleton member sent control traffic: %v", ev)
+	}
+}
+
+// pushView mirrors wire.PushView for test message construction.
+func pushView(m *message.Message, v *core.View) {
+	for i := len(v.Members) - 1; i >= 0; i-- {
+		m.PushString(v.Members[i].Site)
+		m.PushUint64(v.Members[i].Birth)
+	}
+	m.PushUint32(uint32(len(v.Members)))
+	m.PushString(string(v.Group))
+	m.PushString(v.ID.Coord.Site)
+	m.PushUint64(v.ID.Coord.Birth)
+	m.PushUint64(v.ID.Seq)
+}

@@ -1,0 +1,731 @@
+// Package nak implements the NAK layer: reliable FIFO delivery over a
+// best-effort network using sequence numbers and negative
+// acknowledgements (paper §7).
+//
+// On each outgoing message the layer pushes a sequence number that the
+// receiver checks. A receiver detecting loss sends back a negative
+// acknowledgement; the sender retransmits from its buffer, or — if the
+// message is no longer buffered — sends a place holder that surfaces
+// as a LOST_MESSAGE upcall. Each endpoint occasionally multicasts its
+// protocol status so buffered messages can be flushed and failures
+// detected (a missing status update raises a PROBLEM upcall, which is
+// the failure-suspicion input the MBRSHIP layer converts into clean
+// view changes).
+//
+// Two sequence spaces are maintained: one multicast stream per sender
+// (property P4, FIFO multicast) and one unicast stream per
+// (sender, destination) pair (property P3, FIFO unicast). Locate
+// beacons and other non-addressed traffic pass through unsequenced.
+//
+// Properties: requires P1, P10, P11; provides P3, P4.
+package nak
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/message"
+	"horus/internal/wire"
+)
+
+// Wire kinds.
+const (
+	kindData        = 1 // sequenced cast
+	kindUniData     = 2 // sequenced unicast (subset send, one copy per dest)
+	kindNak         = 3 // negative acknowledgement {stream, from, to}
+	kindStatus      = 4 // periodic status multicast
+	kindPlaceholder = 5 // retransmission no longer possible
+	kindRaw         = 6 // unsequenced pass-through (non-addressed sends)
+)
+
+// Stream tags inside NAK control messages.
+const (
+	streamCast = 1
+	streamUni  = 2
+)
+
+// Defaults; override with the Option functions.
+const (
+	defaultStatusPeriod  = 50 * time.Millisecond
+	defaultResendNak     = 40 * time.Millisecond
+	defaultSuspectAfter  = 8 // status periods of silence before PROBLEM
+	defaultRetainBufferN = 1024
+)
+
+// Option configures a Nak layer at construction.
+type Option func(*Nak)
+
+// WithStatusPeriod sets the status-gossip interval.
+func WithStatusPeriod(d time.Duration) Option { return func(n *Nak) { n.statusPeriod = d } }
+
+// WithSuspectAfter sets how many silent status periods trigger a
+// PROBLEM upcall for a member. Zero disables failure suspicion.
+func WithSuspectAfter(k int) Option { return func(n *Nak) { n.suspectAfter = k } }
+
+// WithNakResend sets the re-NAK interval while a gap persists.
+func WithNakResend(d time.Duration) Option { return func(n *Nak) { n.resendNak = d } }
+
+// WithRetain bounds the retransmission buffer to k messages per
+// stream; older messages are answered with place holders.
+func WithRetain(k int) Option {
+	return func(n *Nak) {
+		n.castOut.retain = k
+		n.retain = k
+	}
+}
+
+// New returns a NAK layer with default configuration.
+func New() core.Layer { return newNak() }
+
+// NewWith returns a factory with options applied.
+func NewWith(opts ...Option) core.Factory {
+	return func() core.Layer {
+		n := newNak()
+		for _, o := range opts {
+			o(n)
+		}
+		return n
+	}
+}
+
+func newNak() *Nak {
+	return &Nak{
+		castOut:      outStream{buf: make(map[uint64]*message.Message)},
+		uniOut:       make(map[core.EndpointID]*outStream),
+		castIn:       make(map[core.EndpointID]*inStream),
+		uniIn:        make(map[core.EndpointID]*inStream),
+		lastHeard:    make(map[core.EndpointID]time.Duration),
+		statusPeriod: defaultStatusPeriod,
+		resendNak:    defaultResendNak,
+		suspectAfter: defaultSuspectAfter,
+	}
+}
+
+// outStream is the sending side of one FIFO stream.
+type outStream struct {
+	next   uint64 // next sequence number to assign (first message is 1)
+	buf    map[uint64]*message.Message
+	acks   map[core.EndpointID]uint64 // per-member delivered counts (from status)
+	retain int                        // max buffered messages; 0 = default
+}
+
+// inStream is the receiving side of one FIFO stream from one source.
+type inStream struct {
+	delivered uint64                 // highest contiguously delivered seq
+	pending   map[uint64]*core.Event // out-of-order buffer
+	nakTimer  func()                 // cancels the outstanding re-NAK timer
+}
+
+// Nak is one NAK layer instance.
+type Nak struct {
+	core.Base
+	members []core.EndpointID
+
+	castOut outStream
+	uniOut  map[core.EndpointID]*outStream
+	castIn  map[core.EndpointID]*inStream
+	uniIn   map[core.EndpointID]*inStream
+
+	lastHeard map[core.EndpointID]time.Duration
+	suspected map[core.EndpointID]bool
+
+	statusPeriod time.Duration
+	resendNak    time.Duration
+	suspectAfter int
+	retain       int
+
+	statusCancel func()
+	stats        Stats
+	destroyed    bool
+}
+
+// Stats counts NAK activity.
+type Stats struct {
+	DataSent       int
+	Retransmits    int
+	NaksSent       int
+	Placeholders   int
+	StatusSent     int
+	Duplicates     int // sequenced messages dropped as duplicates
+	OutOfOrder     int // messages buffered waiting for a gap to fill
+	LostReported   int // LOST_MESSAGE upcalls emitted
+	ProblemsRaised int
+}
+
+// Name implements core.Layer.
+func (n *Nak) Name() string { return "NAK" }
+
+// Stats returns a snapshot of the layer's counters.
+func (n *Nak) Stats() Stats { return n.stats }
+
+// Init implements core.Layer and arms the periodic status multicast.
+func (n *Nak) Init(c *core.Context) error {
+	if err := n.Base.Init(c); err != nil {
+		return err
+	}
+	n.suspected = make(map[core.EndpointID]bool)
+	if n.statusPeriod > 0 {
+		n.statusCancel = c.SetTimer(n.statusPeriod, n.statusTick)
+	}
+	return nil
+}
+
+// Down implements core.Layer.
+func (n *Nak) Down(ev *core.Event) {
+	switch ev.Type {
+	case core.DCast:
+		seq := n.castOut.assign(ev.Msg)
+		ev.Msg.PushUint64(seq)
+		ev.Msg.PushUint8(kindData)
+		n.stats.DataSent++
+		n.Ctx.Down(ev)
+	case core.DSend:
+		if len(ev.Dests) == 0 {
+			// Non-addressed send: pass through unsequenced.
+			ev.Msg.PushUint8(kindRaw)
+			n.Ctx.Down(ev)
+			return
+		}
+		// One sequenced copy per destination pair.
+		for _, dst := range ev.Dests {
+			out := n.uniOutFor(dst)
+			m := ev.Msg.Clone()
+			seq := out.assign(m)
+			m.PushUint64(seq)
+			m.PushUint8(kindUniData)
+			n.stats.DataSent++
+			n.Ctx.Down(&core.Event{Type: core.DSend, Msg: m, Dests: []core.EndpointID{dst}})
+		}
+	case core.DView:
+		n.applyView(ev)
+		n.Ctx.Down(ev)
+	case core.DDump:
+		ev.Dump = append(ev.Dump, "NAK: "+n.dumpLine())
+		n.Ctx.Down(ev)
+	case core.DDestroy:
+		n.shutdown()
+		n.Ctx.Down(ev)
+	default:
+		n.Ctx.Down(ev)
+	}
+}
+
+func (n *Nak) uniOutFor(dst core.EndpointID) *outStream {
+	out := n.uniOut[dst]
+	if out == nil {
+		out = &outStream{buf: make(map[uint64]*message.Message), retain: n.retain}
+		n.uniOut[dst] = out
+	}
+	return out
+}
+
+// assign stamps the next sequence number and retains a retransmission
+// copy. The clone is taken before lower layers push their headers, so
+// a retransmission re-enters the lower stack cleanly. The buffer is
+// bounded: once it exceeds the retention limit the oldest entries are
+// dropped, after which a NAK for them is answered with a place holder
+// ("will retransmit if the message is still buffered. If not, it will
+// send a place holder", §7).
+func (o *outStream) assign(m *message.Message) uint64 {
+	o.next++
+	o.buf[o.next] = m.Clone()
+	retain := o.retain
+	if retain <= 0 {
+		retain = defaultRetainBufferN
+	}
+	// Sweep with hysteresis: scanning the whole buffer on every send
+	// once it is full would make each send O(retain).
+	if len(o.buf) > retain+retain/4 {
+		for seq := range o.buf {
+			if seq+uint64(retain) <= o.next {
+				delete(o.buf, seq)
+			}
+		}
+	}
+	return o.next
+}
+
+// Up implements core.Layer.
+func (n *Nak) Up(ev *core.Event) {
+	switch ev.Type {
+	case core.UCast, core.USend:
+		n.heard(ev.Source)
+		kind := ev.Msg.PopUint8()
+		switch kind {
+		case kindData:
+			// Retransmissions travel as subset sends; restore the
+			// multicast event type so upper layers and the application
+			// cannot tell a retransmitted cast from an original.
+			ev.Type = core.UCast
+			n.receiveData(ev, n.castInFor(ev.Source), streamCast)
+		case kindUniData:
+			ev.Type = core.USend
+			n.receiveData(ev, n.uniInFor(ev.Source), streamUni)
+		case kindNak:
+			n.receiveNak(ev)
+		case kindStatus:
+			n.receiveStatus(ev)
+		case kindRaw:
+			n.Ctx.Up(ev)
+		case kindPlaceholder:
+			n.receivePlaceholder(ev)
+		default:
+			// Unknown kind byte: garbled in flight, drop.
+		}
+	case core.UView:
+		n.Ctx.Up(ev)
+	default:
+		n.Ctx.Up(ev)
+	}
+}
+
+func (n *Nak) castInFor(src core.EndpointID) *inStream {
+	in := n.castIn[src]
+	if in == nil {
+		in = &inStream{pending: make(map[uint64]*core.Event)}
+		n.castIn[src] = in
+	}
+	return in
+}
+
+func (n *Nak) uniInFor(src core.EndpointID) *inStream {
+	in := n.uniIn[src]
+	if in == nil {
+		in = &inStream{pending: make(map[uint64]*core.Event)}
+		n.uniIn[src] = in
+	}
+	return in
+}
+
+// receiveData handles a sequenced arrival on stream in from ev.Source.
+func (n *Nak) receiveData(ev *core.Event, in *inStream, stream uint8) {
+	seq := ev.Msg.PopUint64()
+	switch {
+	case seq == in.delivered+1:
+		in.delivered = seq
+		n.Ctx.Up(ev)
+		n.drain(in)
+	case seq <= in.delivered:
+		n.stats.Duplicates++
+	default:
+		if _, dup := in.pending[seq]; dup {
+			n.stats.Duplicates++
+			return
+		}
+		n.stats.OutOfOrder++
+		in.pending[seq] = ev
+		n.sendNak(ev.Source, in, stream)
+	}
+}
+
+// silentLoss marks pending entries standing in for place-held ranges
+// whose LOST_MESSAGE was already reported.
+const silentLoss = "~reported~"
+
+// drain delivers any buffered messages that have become contiguous,
+// and cancels or re-arms the gap timer.
+func (n *Nak) drain(in *inStream) {
+	for {
+		next, ok := in.pending[in.delivered+1]
+		if !ok {
+			break
+		}
+		delete(in.pending, in.delivered+1)
+		in.delivered++
+		if next.Type == core.ULostMessage {
+			if next.Reason == silentLoss {
+				continue
+			}
+			n.stats.LostReported++
+		}
+		n.Ctx.Up(next)
+	}
+	if len(in.pending) == 0 && in.nakTimer != nil {
+		in.nakTimer()
+		in.nakTimer = nil
+	}
+}
+
+// sendNak reports the current gap [delivered+1, minPending-1] to the
+// source and arms a re-NAK timer.
+func (n *Nak) sendNak(src core.EndpointID, in *inStream, stream uint8) {
+	lo := in.delivered + 1
+	hi := uint64(0)
+	for s := range in.pending {
+		if hi == 0 || s < hi {
+			hi = s
+		}
+	}
+	if hi == 0 || hi <= lo {
+		return
+	}
+	n.sendNakRange(src, in, stream, lo, hi-1)
+}
+
+// sendNakRange requests retransmission of [lo, hi] and arms a re-NAK
+// timer that persists while the receive stream has a gap.
+func (n *Nak) sendNakRange(src core.EndpointID, in *inStream, stream uint8, lo, hi uint64) {
+	m := message.New(nil)
+	m.PushUint64(hi)
+	m.PushUint64(lo)
+	m.PushUint8(stream)
+	m.PushUint8(kindNak)
+	n.stats.NaksSent++
+	n.Ctx.Down(&core.Event{Type: core.DSend, Msg: m, Dests: []core.EndpointID{src}})
+	if in.nakTimer != nil {
+		in.nakTimer()
+	}
+	if n.resendNak > 0 {
+		in.nakTimer = n.Ctx.SetTimer(n.resendNak, func() {
+			in.nakTimer = nil
+			if len(in.pending) > 0 {
+				n.sendNak(src, in, stream)
+			}
+		})
+	}
+}
+
+// receiveNak retransmits the requested range, or place holders for
+// messages no longer buffered. NAK control messages are emitted below
+// this layer (straight to the layer underneath), so they are never
+// themselves sequenced and cannot recurse.
+func (n *Nak) receiveNak(ev *core.Event) {
+	stream := ev.Msg.PopUint8()
+	lo := ev.Msg.PopUint64()
+	hi := ev.Msg.PopUint64()
+	var out *outStream
+	var kind uint8
+	switch stream {
+	case streamCast:
+		out, kind = &n.castOut, kindData
+	case streamUni:
+		out, kind = n.uniOutFor(ev.Source), kindUniData
+	default:
+		return
+	}
+	// Retransmit what is buffered; collapse runs of trimmed sequence
+	// numbers into single range place holders (a member that joined
+	// after a long history would otherwise receive one placeholder per
+	// pre-join message).
+	phLo := uint64(0)
+	flushPh := func(phHi uint64) {
+		if phLo == 0 {
+			return
+		}
+		m := message.New(nil)
+		m.PushUint64(phHi)
+		m.PushUint64(phLo)
+		m.PushUint8(stream)
+		m.PushUint8(kindPlaceholder)
+		n.stats.Placeholders++
+		n.Ctx.Down(&core.Event{Type: core.DSend, Msg: m, Dests: []core.EndpointID{ev.Source}})
+		phLo = 0
+	}
+	for seq := lo; seq <= hi; seq++ {
+		if buf, ok := out.buf[seq]; ok {
+			flushPh(seq - 1)
+			m := buf.Clone()
+			m.PushUint64(seq)
+			m.PushUint8(kind)
+			n.stats.Retransmits++
+			n.Ctx.Down(&core.Event{Type: core.DSend, Msg: m, Dests: []core.EndpointID{ev.Source}})
+		} else if phLo == 0 {
+			phLo = seq
+		}
+	}
+	flushPh(hi)
+}
+
+// receivePlaceholder fills a gap with a LOST_MESSAGE event (paper §7:
+// "it will send a place holder that will result in a LOST_MESSAGE
+// event when received"). Place holders cover a range; a single
+// LOST_MESSAGE upcall reports the whole range, and silent markers fill
+// the receive stream so later messages stay FIFO.
+func (n *Nak) receivePlaceholder(ev *core.Event) {
+	stream := ev.Msg.PopUint8()
+	lo := ev.Msg.PopUint64()
+	hi := ev.Msg.PopUint64()
+	var in *inStream
+	switch stream {
+	case streamCast:
+		in = n.castInFor(ev.Source)
+	case streamUni:
+		in = n.uniInFor(ev.Source)
+	default:
+		return
+	}
+	if hi <= in.delivered || hi < lo {
+		return
+	}
+	n.stats.LostReported++
+	n.Ctx.Up(&core.Event{Type: core.ULostMessage, Source: ev.Source,
+		Reason: fmt.Sprintf("seqs %d-%d no longer buffered by sender", lo, hi)})
+	for seq := lo; seq <= hi; seq++ {
+		switch {
+		case seq <= in.delivered:
+		case seq == in.delivered+1:
+			in.delivered = seq
+			n.drain(in)
+		default:
+			if _, dup := in.pending[seq]; !dup {
+				in.pending[seq] = &core.Event{Type: core.ULostMessage, Reason: silentLoss}
+			}
+		}
+	}
+}
+
+// statusTick multicasts this endpoint's receive status and checks for
+// silent members.
+func (n *Nak) statusTick() {
+	if n.destroyed {
+		return
+	}
+	n.statusCancel = n.Ctx.SetTimer(n.statusPeriod, n.statusTick)
+	if len(n.members) > 1 {
+		n.sendStatus()
+		n.checkSilence()
+	}
+}
+
+// sendStatus sends each member {per-source cast delivered counts, our
+// cast send count, and the positions of our unicast streams with that
+// member}. Receivers use the send counts to detect tail loss on both
+// the multicast stream and the per-pair unicast stream (a lost unicast
+// on a stream that then goes quiet has no later message to expose the
+// gap), and the delivered counts to trim retransmission buffers.
+func (n *Nak) sendStatus() {
+	srcs := make([]core.EndpointID, 0, len(n.castIn))
+	for src := range n.castIn {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Older(srcs[j]) })
+	counts := make([]uint64, len(srcs))
+	for i, src := range srcs {
+		counts[i] = n.castIn[src].delivered
+	}
+	for _, dst := range n.others() {
+		m := message.New(nil)
+		var uniSent, uniDelivered uint64
+		if out := n.uniOut[dst]; out != nil {
+			uniSent = out.next
+		}
+		if in := n.uniIn[dst]; in != nil {
+			uniDelivered = in.delivered
+		}
+		m.PushUint64(uniDelivered)
+		m.PushUint64(uniSent)
+		m.PushUint64(n.castOut.next)
+		wire.PushCounts(m, counts)
+		wire.PushIDList(m, srcs)
+		m.PushUint8(kindStatus)
+		n.stats.StatusSent++
+		n.Ctx.Down(&core.Event{Type: core.DSend, Msg: m, Dests: []core.EndpointID{dst}})
+	}
+}
+
+// receiveStatus trims the multicast retransmission buffer up to the
+// minimum delivered count acknowledged by all current members, and
+// detects tail loss: the status carries the peer's own send count, so
+// a receiver that is behind with no out-of-order evidence (the
+// negative-acknowledgement blind spot) can still ask for the missing
+// suffix.
+func (n *Nak) receiveStatus(ev *core.Event) {
+	srcs := wire.PopIDList(ev.Msg)
+	counts := wire.PopCounts(ev.Msg)
+	peerCastSent := ev.Msg.PopUint64()
+	peerUniSent := ev.Msg.PopUint64()      // peer -> us unicast stream
+	peerUniDelivered := ev.Msg.PopUint64() // us -> peer unicast stream
+	if len(counts) != len(srcs) {
+		return
+	}
+	for i, src := range srcs {
+		if src == n.Ctx.Self() {
+			n.ackedBy(ev.Source, counts[i])
+		}
+	}
+	n.nakTail(ev.Source, n.castInFor(ev.Source), streamCast, peerCastSent)
+	n.nakTail(ev.Source, n.uniInFor(ev.Source), streamUni, peerUniSent)
+	// Trim the unicast retransmission buffer to what the peer has.
+	if out := n.uniOut[ev.Source]; out != nil {
+		for seq := range out.buf {
+			if seq <= peerUniDelivered {
+				delete(out.buf, seq)
+			}
+		}
+	}
+}
+
+// nakTail requests the missing suffix of a stream whose sender claims
+// to have sent more than we have seen.
+func (n *Nak) nakTail(src core.EndpointID, in *inStream, stream uint8, peerSent uint64) {
+	maxPending := uint64(0)
+	for s := range in.pending {
+		if s > maxPending {
+			maxPending = s
+		}
+	}
+	if peerSent > in.delivered && peerSent > maxPending {
+		n.sendNakRange(src, in, stream, in.delivered+1, peerSent)
+	}
+}
+
+// peerAcks tracks, per member, how much of our cast stream they have.
+// Stored lazily on the out stream.
+func (n *Nak) ackedBy(member core.EndpointID, count uint64) {
+	if n.castOut.acks == nil {
+		n.castOut.acks = make(map[core.EndpointID]uint64)
+	}
+	if count > n.castOut.acks[member] {
+		n.castOut.acks[member] = count
+	}
+	n.trimCastBuffer()
+}
+
+// trimCastBuffer drops buffered casts acknowledged by every member.
+func (n *Nak) trimCastBuffer() {
+	if len(n.members) == 0 {
+		return
+	}
+	min := n.castOut.next
+	for _, m := range n.members {
+		if m == n.Ctx.Self() {
+			continue
+		}
+		min = minU64(min, n.castOut.acks[m])
+	}
+	for seq := range n.castOut.buf {
+		if seq <= min {
+			delete(n.castOut.buf, seq)
+		}
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// heard records liveness evidence for a member.
+func (n *Nak) heard(src core.EndpointID) {
+	n.lastHeard[src] = n.Ctx.Now()
+	if n.suspected[src] {
+		delete(n.suspected, src)
+	}
+}
+
+// checkSilence raises PROBLEM upcalls for members silent for
+// suspectAfter status periods.
+func (n *Nak) checkSilence() {
+	if n.suspectAfter <= 0 {
+		return
+	}
+	now := n.Ctx.Now()
+	limit := time.Duration(n.suspectAfter) * n.statusPeriod
+	for _, m := range n.members {
+		if m == n.Ctx.Self() || n.suspected[m] {
+			continue
+		}
+		last, ok := n.lastHeard[m]
+		if !ok {
+			// Never heard from: start the clock at view installation.
+			n.lastHeard[m] = now
+			continue
+		}
+		if now-last > limit {
+			n.suspected[m] = true
+			n.stats.ProblemsRaised++
+			n.Ctx.Up(&core.Event{Type: core.UProblem, Source: m,
+				Reason: fmt.Sprintf("no traffic for %v", now-last)})
+		}
+	}
+}
+
+// applyView adapts to the new membership. Sequence-number state is
+// deliberately kept for endpoints outside the view: membership and
+// merge control traffic crosses view boundaries on the same per-pair
+// FIFO streams, so resetting a stream on one side while the other
+// remembers its counters would make every later message look like a
+// duplicate. Only the parts that would leak or misfire are cleaned:
+// retransmission-request timers and out-of-order buffers of removed
+// (likely dead) members, suspicion state, and ack bookkeeping.
+func (n *Nak) applyView(ev *core.Event) {
+	if ev.View == nil {
+		return
+	}
+	n.members = append([]core.EndpointID(nil), ev.View.Members...)
+	inView := make(map[core.EndpointID]bool, len(n.members))
+	for _, m := range n.members {
+		inView[m] = true
+	}
+	stopGaps := func(streams map[core.EndpointID]*inStream) {
+		for src, in := range streams {
+			if inView[src] {
+				continue
+			}
+			if in.nakTimer != nil {
+				in.nakTimer()
+				in.nakTimer = nil
+			}
+			// Gap fillers will never come from a dead sender; the
+			// buffered out-of-order messages can never be delivered
+			// FIFO and are dropped (virtual synchrony layers recover
+			// what matters during the flush).
+			in.pending = make(map[uint64]*core.Event)
+		}
+	}
+	stopGaps(n.castIn)
+	stopGaps(n.uniIn)
+	for m := range n.suspected {
+		if !inView[m] {
+			delete(n.suspected, m)
+		}
+	}
+	for m := range n.castOut.acks {
+		if !inView[m] {
+			delete(n.castOut.acks, m)
+		}
+	}
+	// Restart the silence clock for everyone in the new view.
+	now := n.Ctx.Now()
+	for _, m := range n.members {
+		n.lastHeard[m] = now
+	}
+	n.trimCastBuffer()
+}
+
+// others returns the view members except self.
+func (n *Nak) others() []core.EndpointID {
+	out := make([]core.EndpointID, 0, len(n.members))
+	for _, m := range n.members {
+		if m != n.Ctx.Self() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (n *Nak) shutdown() {
+	n.destroyed = true
+	if n.statusCancel != nil {
+		n.statusCancel()
+	}
+	for _, in := range n.castIn {
+		if in.nakTimer != nil {
+			in.nakTimer()
+		}
+	}
+	for _, in := range n.uniIn {
+		if in.nakTimer != nil {
+			in.nakTimer()
+		}
+	}
+}
+
+func (n *Nak) dumpLine() string {
+	return fmt.Sprintf("castSeq=%d buffered=%d retransmits=%d naks=%d status=%d suspected=%d",
+		n.castOut.next, len(n.castOut.buf), n.stats.Retransmits, n.stats.NaksSent, n.stats.StatusSent, len(n.suspected))
+}

@@ -1,0 +1,160 @@
+package nak_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/layers/com"
+	"horus/internal/layers/nak"
+	"horus/internal/message"
+	"horus/internal/netsim"
+)
+
+// netPair builds two NAK:COM endpoints with a two-member view over a
+// configurable network.
+func netPair(t *testing.T, link netsim.Link, opts ...nak.Option) (*netsim.Network, *core.Group, *core.Group, *[]*core.Event, *[]*core.Event) {
+	t.Helper()
+	net := netsim.New(netsim.Config{Seed: 7, DefaultLink: link})
+	mk := func(name string, sink *[]*core.Event) *core.Group {
+		ep := net.NewEndpoint(name)
+		g, err := ep.Join("g", core.StackSpec{nak.NewWith(opts...), com.New},
+			func(ev *core.Event) { *sink = append(*sink, ev) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	var evA, evB []*core.Event
+	ga := mk("a", &evA)
+	gb := mk("b", &evB)
+	view := core.NewView(core.ViewID{Seq: 1, Coord: ga.Endpoint().ID()}, "g",
+		[]core.EndpointID{ga.Endpoint().ID(), gb.Endpoint().ID()})
+	ga.InstallView(view)
+	gb.InstallView(view)
+	return net, ga, gb, &evA, &evB
+}
+
+func bodies(evs []*core.Event, t core.EventType) []string {
+	var out []string
+	for _, ev := range evs {
+		if ev.Type == t {
+			out = append(out, string(ev.Msg.Body()))
+		}
+	}
+	return out
+}
+
+func TestReorderedDeliveryIsFIFO(t *testing.T) {
+	// Heavy jitter reorders nearly everything; NAK must straighten it.
+	net, ga, _, _, evB := netPair(t, netsim.Link{Delay: time.Millisecond, Jitter: 10 * time.Millisecond},
+		nak.WithSuspectAfter(0))
+	for i := 0; i < 50; i++ {
+		i := i
+		net.At(time.Duration(i)*time.Millisecond, func() {
+			ga.Cast(message.New([]byte(fmt.Sprintf("%03d", i))))
+		})
+	}
+	net.RunFor(3 * time.Second)
+	got := bodies(*evB, core.UCast)
+	if len(got) != 50 {
+		t.Fatalf("delivered %d, want 50", len(got))
+	}
+	for i, b := range got {
+		if b != fmt.Sprintf("%03d", i) {
+			t.Fatalf("position %d = %q (FIFO violated): %v", i, b, got)
+		}
+	}
+}
+
+func TestDuplicatesSuppressed(t *testing.T) {
+	net, ga, gb, _, evB := netPair(t, netsim.Link{Delay: time.Millisecond, DupRate: 0.5},
+		nak.WithSuspectAfter(0))
+	for i := 0; i < 30; i++ {
+		i := i
+		net.At(time.Duration(i)*time.Millisecond, func() {
+			ga.Cast(message.New([]byte(fmt.Sprintf("%d", i))))
+		})
+	}
+	net.RunFor(time.Second)
+	if got := len(bodies(*evB, core.UCast)); got != 30 {
+		t.Fatalf("delivered %d under duplication, want 30", got)
+	}
+	l := gb.Focus("NAK").(*nak.Nak)
+	if l.Stats().Duplicates == 0 {
+		t.Error("no duplicates recorded despite DupRate 0.5")
+	}
+}
+
+func TestSuspicionAfterSilence(t *testing.T) {
+	net, ga, _, evA, _ := netPair(t, netsim.Link{Delay: time.Millisecond},
+		nak.WithStatusPeriod(10*time.Millisecond), nak.WithSuspectAfter(4))
+	other := core.EndpointID{Site: "b", Birth: 2}
+	net.RunFor(20 * time.Millisecond) // let both sides exchange status
+	net.Crash(other)
+	net.RunFor(time.Second)
+	var problems []*core.Event
+	for _, ev := range *evA {
+		if ev.Type == core.UProblem {
+			problems = append(problems, ev)
+		}
+	}
+	if len(problems) != 1 {
+		t.Fatalf("a raised %d PROBLEMs, want 1", len(problems))
+	}
+	if problems[0].Source != other {
+		t.Errorf("PROBLEM about %v, want %v", problems[0].Source, other)
+	}
+	_ = ga
+}
+
+func TestNoSuspicionWhileTalking(t *testing.T) {
+	net, ga, _, evA, _ := netPair(t, netsim.Link{Delay: time.Millisecond},
+		nak.WithStatusPeriod(10*time.Millisecond), nak.WithSuspectAfter(4))
+	net.RunFor(2 * time.Second)
+	for _, ev := range *evA {
+		if ev.Type == core.UProblem {
+			t.Fatalf("spurious PROBLEM: %v", ev)
+		}
+	}
+	_ = ga
+}
+
+func TestTailLossRecoveredByStatus(t *testing.T) {
+	// Lose a burst including the final messages: only the status
+	// exchange can reveal the missing tail.
+	net, ga, _, _, evB := netPair(t, netsim.Link{Delay: time.Millisecond},
+		nak.WithStatusPeriod(10*time.Millisecond), nak.WithSuspectAfter(0))
+	ids := []core.EndpointID{ga.Endpoint().ID(), {Site: "b", Birth: 2}}
+	net.At(0, func() { ga.Cast(message.New([]byte("first"))) })
+	net.At(5*time.Millisecond, func() {
+		net.SetLink(ids[0], ids[1], netsim.Link{Delay: time.Millisecond, LossRate: 1})
+		ga.Cast(message.New([]byte("last")))
+	})
+	net.At(20*time.Millisecond, func() {
+		net.SetLink(ids[0], ids[1], netsim.Link{Delay: time.Millisecond})
+	})
+	net.RunFor(2 * time.Second)
+	got := bodies(*evB, core.UCast)
+	if len(got) != 2 || got[1] != "last" {
+		t.Fatalf("delivered %v, want [first last]", got)
+	}
+}
+
+func TestUnicastStreamsIndependentFromCast(t *testing.T) {
+	net, ga, _, _, evB := netPair(t, netsim.Link{Delay: time.Millisecond}, nak.WithSuspectAfter(0))
+	bID := core.EndpointID{Site: "b", Birth: 2}
+	net.At(0, func() {
+		ga.Cast(message.New([]byte("m-cast")))
+		ga.Send([]core.EndpointID{bID}, message.New([]byte("m-send")))
+		ga.Cast(message.New([]byte("m-cast-2")))
+	})
+	net.RunFor(time.Second)
+	if got := bodies(*evB, core.UCast); len(got) != 2 {
+		t.Fatalf("casts = %v", got)
+	}
+	if got := bodies(*evB, core.USend); len(got) != 1 || got[0] != "m-send" {
+		t.Fatalf("sends = %v", got)
+	}
+}

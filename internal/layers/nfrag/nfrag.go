@@ -1,0 +1,206 @@
+// Package nfrag implements the NFRAG layer: fragmentation over an
+// *unreliable* transport (Table 3: requires only P1/P10/P11, provides
+// P12).
+//
+// Unlike FRAG, which sits above FIFO channels and needs only the
+// paper's one-bit more-flag, NFRAG cannot assume ordering or
+// reliability. Each fragment carries {message id, index, count};
+// receivers reassemble out-of-order fragments per (source, id) and
+// abandon incomplete messages after a timeout. Delivery is
+// all-or-nothing best effort: a lost fragment loses the whole message,
+// which an upper retransmission layer (or the application) must
+// tolerate.
+package nfrag
+
+import (
+	"fmt"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// DefaultMaxFragment is the default fragment payload size.
+const DefaultMaxFragment = 1024
+
+// defaultReassemblyTimeout abandons incomplete reassemblies.
+const defaultReassemblyTimeout = time.Second
+
+// Option configures the layer.
+type Option func(*Nfrag)
+
+// WithMaxFragment sets the fragment payload size.
+func WithMaxFragment(n int) Option { return func(f *Nfrag) { f.max = n } }
+
+// WithTimeout sets the reassembly abandonment timeout.
+func WithTimeout(d time.Duration) Option { return func(f *Nfrag) { f.timeout = d } }
+
+// New returns an NFRAG layer with defaults.
+func New() core.Layer { return newNfrag() }
+
+// NewWith returns a factory with options applied.
+func NewWith(opts ...Option) core.Factory {
+	return func() core.Layer {
+		f := newNfrag()
+		for _, o := range opts {
+			o(f)
+		}
+		return f
+	}
+}
+
+func newNfrag() *Nfrag {
+	return &Nfrag{max: DefaultMaxFragment, timeout: defaultReassemblyTimeout}
+}
+
+type asmKey struct {
+	src core.EndpointID
+	id  uint64
+}
+
+type assembly struct {
+	parts   map[uint32][]byte
+	count   uint32
+	started time.Duration
+}
+
+// Nfrag is one NFRAG layer instance.
+type Nfrag struct {
+	core.Base
+	max     int
+	timeout time.Duration
+	nextID  uint64
+	asm     map[asmKey]*assembly
+	sweep   func()
+	dead    bool
+	stats   Stats
+}
+
+// Stats counts NFRAG activity.
+type Stats struct {
+	Fragmented  int
+	Fragments   int
+	Reassembled int
+	Abandoned   int // incomplete reassemblies timed out
+}
+
+// Name implements core.Layer.
+func (f *Nfrag) Name() string { return "NFRAG" }
+
+// Stats returns a snapshot of the layer's counters.
+func (f *Nfrag) Stats() Stats { return f.stats }
+
+// Init implements core.Layer.
+func (f *Nfrag) Init(c *core.Context) error {
+	if err := f.Base.Init(c); err != nil {
+		return err
+	}
+	if f.max < 16 {
+		return fmt.Errorf("nfrag: maximum fragment size %d too small", f.max)
+	}
+	f.asm = make(map[asmKey]*assembly)
+	if f.timeout > 0 {
+		f.sweep = c.SetTimer(f.timeout, f.sweepTick)
+	}
+	return nil
+}
+
+// Down implements core.Layer.
+func (f *Nfrag) Down(ev *core.Event) {
+	switch ev.Type {
+	case core.DCast, core.DSend:
+		wire := ev.Msg.Marshal()
+		f.nextID++
+		count := (len(wire) + f.max - 1) / f.max
+		if count == 0 {
+			count = 1
+		}
+		if count > 1 {
+			f.stats.Fragmented++
+		}
+		for i := 0; i < count; i++ {
+			end := (i + 1) * f.max
+			if end > len(wire) {
+				end = len(wire)
+			}
+			m := message.New(wire[i*f.max : end])
+			m.PushUint32(uint32(count))
+			m.PushUint32(uint32(i))
+			m.PushUint64(f.nextID)
+			f.stats.Fragments++
+			f.Ctx.Down(&core.Event{Type: ev.Type, Msg: m, Dests: ev.Dests})
+		}
+	case core.DDestroy:
+		f.dead = true
+		if f.sweep != nil {
+			f.sweep()
+		}
+		f.Ctx.Down(ev)
+	case core.DDump:
+		ev.Dump = append(ev.Dump, fmt.Sprintf("NFRAG: max=%d frags=%d reasm=%d abandoned=%d",
+			f.max, f.stats.Fragments, f.stats.Reassembled, f.stats.Abandoned))
+		f.Ctx.Down(ev)
+	default:
+		f.Ctx.Down(ev)
+	}
+}
+
+// Up implements core.Layer.
+func (f *Nfrag) Up(ev *core.Event) {
+	switch ev.Type {
+	case core.UCast, core.USend:
+		id := ev.Msg.PopUint64()
+		idx := ev.Msg.PopUint32()
+		count := ev.Msg.PopUint32()
+		if count == 0 || idx >= count {
+			return
+		}
+		key := asmKey{src: ev.Source, id: id}
+		a := f.asm[key]
+		if a == nil {
+			a = &assembly{parts: make(map[uint32][]byte), count: count, started: f.Ctx.Now()}
+			f.asm[key] = a
+		}
+		if a.count != count {
+			return
+		}
+		if _, dup := a.parts[idx]; dup {
+			return
+		}
+		a.parts[idx] = append([]byte(nil), ev.Msg.Body()...)
+		if uint32(len(a.parts)) < a.count {
+			return
+		}
+		delete(f.asm, key)
+		var whole []byte
+		for i := uint32(0); i < a.count; i++ {
+			whole = append(whole, a.parts[i]...)
+		}
+		inner, err := message.Unmarshal(whole)
+		if err != nil {
+			return
+		}
+		if a.count > 1 {
+			f.stats.Reassembled++
+		}
+		ev.Msg = inner
+		f.Ctx.Up(ev)
+	default:
+		f.Ctx.Up(ev)
+	}
+}
+
+// sweepTick abandons reassemblies older than the timeout.
+func (f *Nfrag) sweepTick() {
+	if f.dead {
+		return
+	}
+	f.sweep = f.Ctx.SetTimer(f.timeout, f.sweepTick)
+	now := f.Ctx.Now()
+	for key, a := range f.asm {
+		if now-a.started >= f.timeout {
+			delete(f.asm, key)
+			f.stats.Abandoned++
+		}
+	}
+}

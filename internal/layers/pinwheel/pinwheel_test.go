@@ -1,0 +1,120 @@
+package pinwheel_test
+
+import (
+	"testing"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/layers/pinwheel"
+	"horus/internal/layertest"
+	"horus/internal/message"
+)
+
+func setup(t *testing.T) (*layertest.Harness, core.EndpointID) {
+	t.Helper()
+	h := layertest.New(t, pinwheel.NewWith(pinwheel.WithHold(10*time.Millisecond)))
+	peer := layertest.ID("p", 2)
+	h.InstallView(h.Self(), peer) // self is rank 0: first token holder
+	h.Reset()
+	return h, peer
+}
+
+func TestRankZeroStartsRotation(t *testing.T) {
+	h, peer := setup(t)
+	h.Run(50 * time.Millisecond)
+	var tokens int
+	for _, ev := range h.DownOfType(core.DSend) {
+		m := ev.Msg.Clone()
+		if m.PopUint8() == 3 { // kToken
+			tokens++
+			if ev.Dests[0] != peer {
+				t.Fatalf("token sent to %v, want next in rank %v", ev.Dests, peer)
+			}
+		}
+	}
+	if tokens == 0 {
+		t.Fatal("rank 0 never launched the token")
+	}
+}
+
+func TestStampsAndIdentifiesLikeStable(t *testing.T) {
+	h, peer := setup(t)
+	h.InjectDown(core.NewCast(message.New([]byte("x"))))
+	sent := h.LastDown()
+	kind := sent.Msg.PopUint8()
+	seq := sent.Msg.PopUint64()
+	if kind != 1 || seq != 1 {
+		t.Fatalf("kind=%d seq=%d", kind, seq)
+	}
+	m := message.New([]byte("in"))
+	m.PushUint64(4)
+	m.PushUint8(1)
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: m, Source: peer})
+	if got := h.LastUp(); got.ID.Seq != 4 || got.ID.Origin != peer {
+		t.Fatalf("ID = %v", got.ID)
+	}
+}
+
+func TestLocalAcksReportStable(t *testing.T) {
+	h, peer := setup(t)
+	m := message.New([]byte("in"))
+	m.PushUint64(1)
+	m.PushUint8(1)
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: m, Source: peer})
+	h.InjectDown(&core.Event{Type: core.DAck, ID: core.MsgID{Origin: peer, Seq: 1}})
+	ups := h.UpOfType(core.UStable)
+	if len(ups) == 0 {
+		t.Fatal("no STABLE upcall after local ack")
+	}
+	if got := ups[len(ups)-1].Stability.Get(peer, h.Self()); got != 1 {
+		t.Fatalf("matrix = %d", got)
+	}
+}
+
+func TestIncomingTokenMergesAndPassesOn(t *testing.T) {
+	h, peer := setup(t)
+	// Build a token the way a peer would: rows (reverse), members,
+	// kind. Claim the peer acked 9 of our messages.
+	m := message.New(nil)
+	// rows pushed in reverse order of members [self, peer]:
+	pushCounts(m, []uint64{0, 0}) // row for peer's stream
+	pushCounts(m, []uint64{0, 9}) // row for our stream: peer processed 9
+	pushIDList(m, []core.EndpointID{h.Self(), peer})
+	m.PushUint8(3)
+	h.InjectUp(&core.Event{Type: core.USend, Msg: m, Source: peer})
+
+	ups := h.UpOfType(core.UStable)
+	if len(ups) == 0 {
+		t.Fatal("no STABLE after token merge")
+	}
+	if got := ups[len(ups)-1].Stability.Get(h.Self(), peer); got != 9 {
+		t.Fatalf("merged matrix = %d, want 9", got)
+	}
+	// After the hold period the token moves on.
+	h.Reset()
+	h.Run(30 * time.Millisecond)
+	var tokens int
+	for _, ev := range h.DownOfType(core.DSend) {
+		if ev.Msg.Clone().PopUint8() == 3 {
+			tokens++
+		}
+	}
+	if tokens == 0 {
+		t.Fatal("token parked forever")
+	}
+}
+
+func pushCounts(m *message.Message, counts []uint64) {
+	for i := len(counts) - 1; i >= 0; i-- {
+		m.PushUint64(counts[i])
+	}
+	m.PushUint32(uint32(len(counts)))
+}
+
+func pushIDList(m *message.Message, ids []core.EndpointID) {
+	for i := len(ids) - 1; i >= 0; i-- {
+		m.PushString(ids[i].Site)
+		m.PushUint64(ids[i].Birth)
+	}
+	m.PushUint32(uint32(len(ids)))
+}

@@ -1,0 +1,70 @@
+package sign_test
+
+import (
+	"testing"
+
+	"horus/internal/core"
+	"horus/internal/layers/sign"
+	"horus/internal/layertest"
+	"horus/internal/message"
+)
+
+var key = []byte("a 32 byte demo key..............")
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	h := layertest.New(t, sign.New(key))
+	h.InjectDown(core.NewCast(message.New([]byte("secret-free payload"))))
+	sent := h.LastDown()
+	if sent.Msg.HeaderLen() != sign.TagSize {
+		t.Fatalf("tag = %d bytes, want %d", sent.Msg.HeaderLen(), sign.TagSize)
+	}
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: sent.Msg.Clone(), Source: layertest.ID("peer", 2)})
+	if got := h.LastUp(); got == nil || string(got.Msg.Body()) != "secret-free payload" {
+		t.Fatalf("signed message not delivered: %v", got)
+	}
+}
+
+func TestSignRejectsTamperedContent(t *testing.T) {
+	h := layertest.New(t, sign.New(key))
+	h.InjectDown(core.NewCast(message.New([]byte("payload"))))
+	m := h.LastDown().Msg.Clone()
+	m.Body()[0] ^= 1
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: m, Source: layertest.ID("peer", 2)})
+	if got := h.UpOfType(core.UCast); len(got) != 0 {
+		t.Fatal("tampered message delivered")
+	}
+}
+
+func TestSignRejectsForgedTag(t *testing.T) {
+	// A message "signed" under a different key must be rejected: the
+	// §2 impersonation scenario.
+	attacker := layertest.New(t, sign.New([]byte("the attacker key................")))
+	attacker.InjectDown(core.NewCast(message.New([]byte("i am a member, honest"))))
+	forged := attacker.LastDown().Msg.Clone()
+
+	h := layertest.New(t, sign.New(key))
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: forged, Source: layertest.ID("peer", 2)})
+	if got := h.UpOfType(core.UCast); len(got) != 0 {
+		t.Fatal("forged message delivered")
+	}
+	s := h.G.Focus("SIGN").(*sign.Sign)
+	if s.Stats().Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", s.Stats().Rejected)
+	}
+}
+
+func TestSignRejectsTruncated(t *testing.T) {
+	h := layertest.New(t, sign.New(key))
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: message.New([]byte("short")), Source: layertest.ID("peer", 2)})
+	if got := h.UpOfType(core.UCast); len(got) != 0 {
+		t.Fatal("tagless message delivered")
+	}
+}
+
+func TestSignEmptyKeyFailsInit(t *testing.T) {
+	net := layertest.New(t, sign.New(key)).Net
+	ep := net.NewEndpoint("x")
+	if _, err := ep.Join("g", core.StackSpec{sign.New(nil)}, nil); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}

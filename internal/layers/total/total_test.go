@@ -1,0 +1,146 @@
+package total_test
+
+import (
+	"testing"
+
+	"horus/internal/core"
+	"horus/internal/layers/total"
+	"horus/internal/layertest"
+	"horus/internal/message"
+)
+
+func setup(t *testing.T) (*layertest.Harness, *total.Total, core.EndpointID) {
+	t.Helper()
+	h := layertest.New(t, total.New)
+	peer := layertest.ID("p", 2)
+	h.InstallView(h.Self(), peer) // self (birth 1) is rank 0: first holder
+	h.Reset()
+	l := h.G.Focus("TOTAL").(*total.Total)
+	return h, l, peer
+}
+
+func TestHolderStampsImmediately(t *testing.T) {
+	h, l, _ := setup(t)
+	if !l.Holder() {
+		t.Fatal("rank 0 is not the initial token holder")
+	}
+	h.InjectDown(core.NewCast(message.New([]byte("m"))))
+	sent := h.DownOfType(core.DCast)
+	if len(sent) != 1 {
+		t.Fatalf("sent %d casts, want 1", len(sent))
+	}
+	kind := sent[0].Msg.PopUint8()
+	ord := sent[0].Msg.PopUint64()
+	if kind != 1 || ord != 1 {
+		t.Fatalf("kind=%d ord=%d, want data/1", kind, ord)
+	}
+}
+
+func TestNonHolderRequestsToken(t *testing.T) {
+	h := layertest.New(t, total.New)
+	older := layertest.ID("0older", 0)
+	h.InstallView(h.Self(), older) // the peer (birth 0) is rank 0
+	h.Reset()
+	l := h.G.Focus("TOTAL").(*total.Total)
+	if l.Holder() {
+		t.Fatal("rank 1 should not hold the token")
+	}
+	h.InjectDown(core.NewCast(message.New([]byte("m"))))
+	if got := h.DownOfType(core.DCast); len(got) != 0 {
+		t.Fatal("cast sent without the token")
+	}
+	reqs := h.DownOfType(core.DSend)
+	if len(reqs) != 1 || reqs[0].Dests[0] != older {
+		t.Fatalf("token request = %v, want one to %v", reqs, older)
+	}
+}
+
+func TestReceiverDeliversInStampOrder(t *testing.T) {
+	h, _, peer := setup(t)
+	mk := func(ord uint64, body string) *core.Event {
+		m := message.New([]byte(body))
+		m.PushUint64(ord)
+		m.PushUint8(1) // kData
+		return &core.Event{Type: core.UCast, Msg: m, Source: peer}
+	}
+	h.InjectUp(mk(2, "second"))
+	if got := h.UpOfType(core.UCast); len(got) != 0 {
+		t.Fatal("out-of-order stamp delivered early")
+	}
+	h.InjectUp(mk(1, "first"))
+	got := h.UpOfType(core.UCast)
+	if len(got) != 2 || string(got[0].Msg.Body()) != "first" || string(got[1].Msg.Body()) != "second" {
+		t.Fatalf("delivery order: %v", got)
+	}
+}
+
+func TestTokenGrantOnRequest(t *testing.T) {
+	h, l, peer := setup(t)
+	// The peer asks for the token; we have nothing pending, so it goes.
+	req := message.New(nil)
+	req.PushString(peer.Site)
+	req.PushUint64(peer.Birth)
+	req.PushUint8(3) // kReq
+	h.InjectUp(&core.Event{Type: core.USend, Msg: req, Source: peer})
+	if l.Holder() {
+		t.Fatal("holder kept the token despite a waiting requester")
+	}
+	grants := h.DownOfType(core.DSend)
+	if len(grants) != 1 || grants[0].Dests[0] != peer {
+		t.Fatalf("token grant = %v", grants)
+	}
+	if kind := grants[0].Msg.PopUint8(); kind != 2 { // kToken
+		t.Fatalf("grant kind = %d", kind)
+	}
+}
+
+func TestViewChangeResetsOrderAndElectsRankZero(t *testing.T) {
+	h, l, peer := setup(t)
+	// Pass the token away, then a view change must return it to rank 0
+	// (us) and reset the order space.
+	req := message.New(nil)
+	req.PushString(peer.Site)
+	req.PushUint64(peer.Birth)
+	req.PushUint8(3)
+	h.InjectUp(&core.Event{Type: core.USend, Msg: req, Source: peer})
+	if l.Holder() {
+		t.Fatal("setup: token still here")
+	}
+	v := core.NewView(core.ViewID{Seq: 2, Coord: h.Self()}, "test",
+		[]core.EndpointID{h.Self(), peer})
+	h.InjectUp(&core.Event{Type: core.UView, View: v})
+	if !l.Holder() {
+		t.Fatal("lowest rank did not regenerate the token after the view change")
+	}
+	h.Reset()
+	h.InjectDown(core.NewCast(message.New([]byte("fresh"))))
+	sent := h.DownOfType(core.DCast)
+	sent[0].Msg.PopUint8()
+	if ord := sent[0].Msg.PopUint64(); ord != 1 {
+		t.Fatalf("first stamp of new view = %d, want 1", ord)
+	}
+}
+
+func TestPendingCastsResubmittedAfterViewChange(t *testing.T) {
+	h := layertest.New(t, total.New)
+	older := layertest.ID("0older", 0)
+	h.InstallView(h.Self(), older)
+	h.Reset()
+	// Cast without the token: buffered.
+	h.InjectDown(core.NewCast(message.New([]byte("stuck"))))
+	if got := h.DownOfType(core.DCast); len(got) != 0 {
+		t.Fatal("cast escaped without token")
+	}
+	// The holder crashes; the new view makes us rank 0.
+	v := core.NewView(core.ViewID{Seq: 2, Coord: h.Self()}, "test",
+		[]core.EndpointID{h.Self()})
+	h.InjectUp(&core.Event{Type: core.UView, View: v})
+	sent := h.DownOfType(core.DCast)
+	if len(sent) != 1 {
+		t.Fatalf("pending cast not resubmitted: %d", len(sent))
+	}
+	l := h.G.Focus("TOTAL").(*total.Total)
+	if l.Stats().Resubmits != 1 {
+		t.Errorf("Resubmits = %d, want 1", l.Stats().Resubmits)
+	}
+}

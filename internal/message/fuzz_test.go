@@ -1,0 +1,51 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the wire parser: arbitrary bytes must never
+// panic, and anything that parses must re-marshal to an equivalent
+// message.
+func FuzzUnmarshal(f *testing.F) {
+	m := New([]byte("body"))
+	m.PushUint32(7)
+	f.Add(m.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		got, err := Unmarshal(wire)
+		if err != nil {
+			return
+		}
+		// Round trip: marshal of the parse equals a canonical reparse.
+		again, err := Unmarshal(got.Marshal())
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if !Equal(got, again) {
+			t.Fatal("marshal/unmarshal not idempotent")
+		}
+	})
+}
+
+// FuzzPushPop drives the header stack with arbitrary operations.
+func FuzzPushPop(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{4, 5})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		m := New(b)
+		m.PushBytes(a)
+		m.PushAligned(a)
+		if got := m.PopAligned(len(a)); !bytes.Equal(got, a) {
+			t.Fatal("aligned round trip")
+		}
+		if got := m.PopBytes(); !bytes.Equal(got, a) {
+			t.Fatal("bytes round trip")
+		}
+		if m.HeaderLen() != 0 {
+			t.Fatal("residual header")
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// Package message implements the Horus message object (paper §3).
+//
+// A message is a local storage structure whose interface includes
+// operations to push and pop protocol headers, much like a stack:
+// headers are added as the message travels down the protocol stack on
+// send, and removed as it travels up on delivery. The implementation
+// keeps headroom in front of the payload so that pushing a header is a
+// copy into pre-allocated space, not a reallocation, and the body can
+// be referenced without copying (paper: "a message object can contain
+// pointers to data located in the address space of the application").
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// defaultHeadroom is the initial spare space reserved in front of the
+// payload for protocol headers. Typical Horus stacks push 4-40 bytes
+// of headers in total, so 64 bytes avoids reallocation in practice.
+const defaultHeadroom = 64
+
+// wordSize is the alignment unit used by PushAligned, modelling the
+// word-aligned headers whose padding overhead §10 of the paper calls
+// out.
+const wordSize = 4
+
+// Message is a byte container supporting stack-like header push/pop at
+// the front. The zero value is an empty message ready for use.
+type Message struct {
+	buf  []byte // header storage; live header bytes are buf[off:]
+	off  int    // start of live header data within buf
+	body []byte // payload, referenced without copying until Marshal
+}
+
+// New returns a message whose payload references body without copying.
+// The caller must not mutate body while the message is in flight.
+func New(body []byte) *Message {
+	buf := make([]byte, defaultHeadroom)
+	return &Message{buf: buf, off: len(buf), body: body}
+}
+
+// NewWithHeadroom returns an empty message with the given number of
+// bytes of pre-allocated header space. Used by benchmarks to isolate
+// allocation effects.
+func NewWithHeadroom(headroom int, body []byte) *Message {
+	buf := make([]byte, headroom)
+	return &Message{buf: buf, off: len(buf), body: body}
+}
+
+// Body returns the payload. The returned slice is shared, not copied.
+func (m *Message) Body() []byte { return m.body }
+
+// SetBody replaces the payload reference.
+func (m *Message) SetBody(body []byte) { m.body = body }
+
+// HeaderLen returns the number of pushed header bytes not yet popped.
+func (m *Message) HeaderLen() int { return len(m.buf) - m.off }
+
+// Len returns the total wire length: headers plus body.
+func (m *Message) Len() int { return m.HeaderLen() + len(m.body) }
+
+// grow reallocates buf so that at least n more bytes can be pushed.
+func (m *Message) grow(n int) {
+	need := n - m.off
+	if need <= 0 {
+		return
+	}
+	// Double the headroom, at minimum fitting the new header.
+	extra := len(m.buf)
+	if extra < need {
+		extra = need
+	}
+	nbuf := make([]byte, extra+len(m.buf))
+	copy(nbuf[extra+m.off:], m.buf[m.off:])
+	m.off += extra
+	m.buf = nbuf
+}
+
+// Push prepends b to the header region.
+func (m *Message) Push(b []byte) {
+	m.grow(len(b))
+	m.off -= len(b)
+	copy(m.buf[m.off:], b)
+}
+
+// Pop removes and returns the first n header bytes. The returned slice
+// aliases the message's internal buffer; callers that retain it across
+// further pushes must copy it. Pop panics if fewer than n header bytes
+// are present — a protocol layer popping a header that was never pushed
+// is a programming error, not a runtime condition.
+func (m *Message) Pop(n int) []byte {
+	if m.HeaderLen() < n {
+		panic(fmt.Sprintf("message: pop %d bytes, only %d header bytes present", n, m.HeaderLen()))
+	}
+	b := m.buf[m.off : m.off+n]
+	m.off += n
+	return b
+}
+
+// PushUint8 prepends a single byte header.
+func (m *Message) PushUint8(v uint8) {
+	m.grow(1)
+	m.off--
+	m.buf[m.off] = v
+}
+
+// PopUint8 removes and returns a single byte header.
+func (m *Message) PopUint8() uint8 { return m.Pop(1)[0] }
+
+// PushUint16 prepends a big-endian 16-bit header.
+func (m *Message) PushUint16(v uint16) {
+	m.grow(2)
+	m.off -= 2
+	binary.BigEndian.PutUint16(m.buf[m.off:], v)
+}
+
+// PopUint16 removes and returns a big-endian 16-bit header.
+func (m *Message) PopUint16() uint16 { return binary.BigEndian.Uint16(m.Pop(2)) }
+
+// PushUint32 prepends a big-endian 32-bit header.
+func (m *Message) PushUint32(v uint32) {
+	m.grow(4)
+	m.off -= 4
+	binary.BigEndian.PutUint32(m.buf[m.off:], v)
+}
+
+// PopUint32 removes and returns a big-endian 32-bit header.
+func (m *Message) PopUint32() uint32 { return binary.BigEndian.Uint32(m.Pop(4)) }
+
+// PushUint64 prepends a big-endian 64-bit header.
+func (m *Message) PushUint64(v uint64) {
+	m.grow(8)
+	m.off -= 8
+	binary.BigEndian.PutUint64(m.buf[m.off:], v)
+}
+
+// PopUint64 removes and returns a big-endian 64-bit header.
+func (m *Message) PopUint64() uint64 { return binary.BigEndian.Uint64(m.Pop(8)) }
+
+// PushBytes prepends a length-prefixed byte string (32-bit length).
+func (m *Message) PushBytes(b []byte) {
+	m.Push(b)
+	m.PushUint32(uint32(len(b)))
+}
+
+// PopBytes removes a length-prefixed byte string pushed by PushBytes.
+func (m *Message) PopBytes() []byte {
+	n := m.PopUint32()
+	return m.Pop(int(n))
+}
+
+// PushString prepends a length-prefixed string.
+func (m *Message) PushString(s string) { m.PushBytes([]byte(s)) }
+
+// PopString removes a length-prefixed string pushed by PushString.
+func (m *Message) PopString() string { return string(m.PopBytes()) }
+
+// PushAligned prepends b padded with zero bytes so the resulting
+// header occupies a multiple of the machine word size. This models the
+// word-aligned headers of the original Horus implementation; §10 of
+// the paper reports that the padding is "a considerable overhead of
+// unused bits". PopAligned(len(b)) is the inverse.
+func (m *Message) PushAligned(b []byte) {
+	pad := (wordSize - len(b)%wordSize) % wordSize
+	m.grow(len(b) + pad)
+	m.off -= len(b) + pad
+	copy(m.buf[m.off:], b)
+	for i := 0; i < pad; i++ {
+		m.buf[m.off+len(b)+i] = 0
+	}
+}
+
+// PopAligned removes an n-byte header pushed by PushAligned, discarding
+// its alignment padding, and returns the n significant bytes.
+func (m *Message) PopAligned(n int) []byte {
+	pad := (wordSize - n%wordSize) % wordSize
+	b := m.Pop(n + pad)
+	return b[:n]
+}
+
+// Clone returns a deep copy of the message: headers and body are both
+// copied, so the clone is independent of the original. The network
+// simulator clones messages at the sending site, modelling the fact
+// that "the message object that is sent is different from the message
+// object that is delivered" (§3).
+func (m *Message) Clone() *Message {
+	hdr := m.buf[m.off:]
+	buf := make([]byte, defaultHeadroom+len(hdr))
+	copy(buf[defaultHeadroom:], hdr)
+	body := make([]byte, len(m.body))
+	copy(body, m.body)
+	return &Message{buf: buf, off: defaultHeadroom, body: body}
+}
+
+// Marshal renders the message to its wire format: a 32-bit header
+// length, the header bytes, then the body.
+func (m *Message) Marshal() []byte {
+	hdr := m.buf[m.off:]
+	out := make([]byte, 4+len(hdr)+len(m.body))
+	binary.BigEndian.PutUint32(out, uint32(len(hdr)))
+	copy(out[4:], hdr)
+	copy(out[4+len(hdr):], m.body)
+	return out
+}
+
+// Unmarshal parses a wire-format buffer produced by Marshal into a new
+// message with fresh headroom.
+func Unmarshal(wire []byte) (*Message, error) {
+	if len(wire) < 4 {
+		return nil, fmt.Errorf("message: wire buffer too short: %d bytes", len(wire))
+	}
+	hlen := int(binary.BigEndian.Uint32(wire))
+	if hlen < 0 || 4+hlen > len(wire) {
+		return nil, fmt.Errorf("message: header length %d exceeds wire buffer %d", hlen, len(wire))
+	}
+	hdr := wire[4 : 4+hlen]
+	buf := make([]byte, defaultHeadroom+hlen)
+	copy(buf[defaultHeadroom:], hdr)
+	body := make([]byte, len(wire)-4-hlen)
+	copy(body, wire[4+hlen:])
+	return &Message{buf: buf, off: defaultHeadroom, body: body}, nil
+}
+
+// Equal reports whether two messages have identical header bytes and
+// bodies.
+func Equal(a, b *Message) bool {
+	if a.HeaderLen() != b.HeaderLen() || len(a.body) != len(b.body) {
+		return false
+	}
+	ah, bh := a.buf[a.off:], b.buf[b.off:]
+	for i := range ah {
+		if ah[i] != bh[i] {
+			return false
+		}
+	}
+	for i := range a.body {
+		if a.body[i] != b.body[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short diagnostic description.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{hdr=%d body=%d}", m.HeaderLen(), len(m.body))
+}

@@ -1,0 +1,409 @@
+// Package netsim provides the communication substrate underneath every
+// Horus stack: a best-effort (property P1) network in the spirit of
+// the paper's ATM/internet bottom layers.
+//
+// The paper's testbed was real ATM hardware; we substitute a
+// deterministic discrete-event simulation so that every protocol path
+// — message loss (NAK retransmission), garbling (CHKSUM), duplication,
+// reordering, partitions (MERGE), and crashes (MBRSHIP flush) — can be
+// exercised reproducibly from a seed. Virtual time also makes timer-
+// driven protocols testable in microseconds of wall time.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"horus/internal/core"
+)
+
+// Link describes the behaviour of the medium between two endpoints.
+// The zero value is a perfect, zero-latency link.
+type Link struct {
+	// Delay is the base one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter); jitter
+	// larger than the inter-send gap causes reordering.
+	Jitter time.Duration
+	// LossRate is the probability a packet is silently dropped.
+	LossRate float64
+	// DupRate is the probability a packet is delivered twice.
+	DupRate float64
+	// GarbleRate is the probability a random byte of the packet is
+	// corrupted in flight.
+	GarbleRate float64
+	// Bandwidth, when positive, serializes packets on the directed
+	// link at Bandwidth bytes per second: each packet occupies the
+	// link for size/Bandwidth before propagating, and packets queue
+	// behind each other. It makes wire volume observable in virtual
+	// time — which is how the compression layer's "improve bandwidth
+	// use" benefit is measured.
+	Bandwidth int
+}
+
+// Config configures a simulated network.
+type Config struct {
+	// Seed drives all randomness; runs with equal seeds and schedules
+	// are identical.
+	Seed int64
+	// DefaultLink applies between every pair of endpoints unless
+	// overridden with SetLink.
+	DefaultLink Link
+}
+
+// Stats counts network-level activity, for tests and experiments.
+type Stats struct {
+	Sent       int // packets handed to the network (per destination)
+	Delivered  int // packets delivered to an endpoint
+	Lost       int // packets dropped by loss
+	Garbled    int // packets corrupted in flight
+	Duplicated int // extra deliveries due to duplication
+	Blocked    int // packets dropped by partition or crash
+	Bytes      int // wire bytes delivered
+}
+
+// Network is a simulated broadcast medium connecting endpoints. It
+// implements core.Transport. All event execution is driven by Run /
+// RunFor / Step on a single goroutine; virtual time only advances
+// there.
+type Network struct {
+	mu        sync.Mutex
+	now       time.Duration
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	endpoints map[core.EndpointID]*core.Endpoint
+	order     []core.EndpointID // attach order, for deterministic fan-out
+	links     map[pair]Link
+	def       Link
+	crashed   map[core.EndpointID]bool
+	partition map[core.EndpointID]int // partition id; absent = 0
+	linkFree  map[pair]time.Duration  // directed link busy-until (bandwidth model)
+	nextBirth uint64
+	stats     Stats
+}
+
+type pair struct{ a, b core.EndpointID }
+
+func normPair(a, b core.EndpointID) pair {
+	if b.Older(a) {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// New creates a network.
+func New(cfg Config) *Network {
+	return &Network{
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		endpoints: make(map[core.EndpointID]*core.Endpoint),
+		links:     make(map[pair]Link),
+		def:       cfg.DefaultLink,
+		crashed:   make(map[core.EndpointID]bool),
+		partition: make(map[core.EndpointID]int),
+		linkFree:  make(map[pair]time.Duration),
+		nextBirth: 1,
+	}
+}
+
+// NewEndpoint creates and attaches an endpoint at the named site. The
+// endpoint's Birth stamp records attach order, giving the total "age"
+// order that coordinator election relies on.
+func (n *Network) NewEndpoint(site string) *core.Endpoint {
+	n.mu.Lock()
+	id := core.EndpointID{Site: site, Birth: n.nextBirth}
+	n.nextBirth++
+	n.mu.Unlock()
+	ep := core.NewEndpoint(id, n)
+	n.mu.Lock()
+	n.endpoints[id] = ep
+	n.order = append(n.order, id)
+	n.mu.Unlock()
+	return ep
+}
+
+// SetLink overrides the link between a and b (symmetric).
+func (n *Network) SetLink(a, b core.EndpointID, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[normPair(a, b)] = l
+}
+
+// SetDefaultLink replaces the default link applied to all pairs
+// without an override.
+func (n *Network) SetDefaultLink(l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.def = l
+}
+
+func (n *Network) linkFor(a, b core.EndpointID) Link {
+	if l, ok := n.links[normPair(a, b)]; ok {
+		return l
+	}
+	return n.def
+}
+
+// Crash fail-stops the endpoint: all of its traffic is dropped from
+// now on and its protocol execution halts. Other members observe
+// silence — exactly the failure model MBRSHIP converts into clean
+// view changes.
+func (n *Network) Crash(id core.EndpointID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.crashed[id] = true
+	n.mu.Unlock()
+	if ep != nil {
+		ep.Destroy()
+	}
+}
+
+// Crashed reports whether the endpoint has been crashed.
+func (n *Network) Crashed(id core.EndpointID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// Partition splits the network into component groups; traffic flows
+// only within a group. Endpoints not listed join component 0 together.
+func (n *Network) Partition(groups ...[]core.EndpointID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[core.EndpointID]int)
+	for i, g := range groups {
+		for _, id := range g {
+			n.partition[id] = i + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[core.EndpointID]int)
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Now returns the current virtual time. Part of core.Transport.
+func (n *Network) Now() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// Send transmits wire bytes best-effort. Part of core.Transport.
+// Empty dests broadcasts to every attached endpoint (the shared-medium
+// model); receivers without the group drop the packet.
+func (n *Network) Send(from core.EndpointID, group core.GroupAddr, dests []core.EndpointID, wire []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.crashed[from] {
+		return
+	}
+	targets := dests
+	if len(targets) == 0 {
+		targets = n.order
+	}
+	for _, dst := range targets {
+		n.sendOneLocked(from, group, dst, wire)
+	}
+}
+
+// sendOneLocked routes one copy of wire toward dst, applying link
+// faults. Caller holds n.mu.
+func (n *Network) sendOneLocked(from core.EndpointID, group core.GroupAddr, dst core.EndpointID, wire []byte) {
+	n.stats.Sent++
+	ep := n.endpoints[dst]
+	if ep == nil || n.crashed[dst] || n.partition[from] != n.partition[dst] {
+		n.stats.Blocked++
+		return
+	}
+	l := n.linkFor(from, dst)
+	deliveries := 1
+	if l.DupRate > 0 && n.rng.Float64() < l.DupRate {
+		deliveries = 2
+		n.stats.Duplicated++
+	}
+	for i := 0; i < deliveries; i++ {
+		if l.LossRate > 0 && n.rng.Float64() < l.LossRate {
+			n.stats.Lost++
+			continue
+		}
+		buf := make([]byte, len(wire))
+		copy(buf, wire)
+		if l.GarbleRate > 0 && len(buf) > 0 && n.rng.Float64() < l.GarbleRate {
+			buf[n.rng.Intn(len(buf))] ^= byte(1 + n.rng.Intn(255))
+			n.stats.Garbled++
+		}
+		delay := l.Delay
+		if l.Jitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(l.Jitter)))
+		}
+		if l.Bandwidth > 0 {
+			// Serialize on the directed link: the packet departs when
+			// the link is free and occupies it for size/Bandwidth.
+			dir := pair{a: from, b: dst}
+			depart := n.now
+			if busy := n.linkFree[dir]; busy > depart {
+				depart = busy
+			}
+			xmit := time.Duration(int64(len(buf)) * int64(time.Second) / int64(l.Bandwidth))
+			n.linkFree[dir] = depart + xmit
+			delay += depart + xmit - n.now
+		}
+		dstEp, dstID := ep, dst
+		n.scheduleLocked(n.now+delay, func() {
+			n.mu.Lock()
+			dead := n.crashed[dstID]
+			if !dead {
+				n.stats.Delivered++
+				n.stats.Bytes += len(buf)
+			}
+			n.mu.Unlock()
+			if !dead {
+				dstEp.Deliver(group, buf)
+			}
+		})
+	}
+}
+
+// SetTimer schedules fn after d of virtual time. Part of
+// core.Transport.
+func (n *Network) SetTimer(d time.Duration, fn func()) (cancel func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ev := n.scheduleLocked(n.now+d, fn)
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		ev.cancelled = true
+	}
+}
+
+// At schedules fn at absolute virtual time t (or now, if t has
+// passed). Tests script application behaviour with it.
+func (n *Network) At(t time.Duration, fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t < n.now {
+		t = n.now
+	}
+	n.scheduleLocked(t, fn)
+}
+
+func (n *Network) scheduleLocked(t time.Duration, fn func()) *event {
+	ev := &event{at: t, seq: n.seq, fn: fn}
+	n.seq++
+	heap.Push(&n.events, ev)
+	return ev
+}
+
+// Step executes the next pending event, returning false if none
+// remain.
+func (n *Network) Step() bool {
+	n.mu.Lock()
+	for n.events.Len() > 0 {
+		ev := heap.Pop(&n.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		n.now = ev.at
+		n.mu.Unlock()
+		ev.fn()
+		return true
+	}
+	n.mu.Unlock()
+	return false
+}
+
+// RunUntil executes events until virtual time exceeds deadline or no
+// events remain. Events scheduled exactly at deadline still run.
+func (n *Network) RunUntil(deadline time.Duration) {
+	for {
+		n.mu.Lock()
+		run := false
+		var ev *event
+		for n.events.Len() > 0 {
+			peek := n.events[0]
+			if peek.cancelled {
+				heap.Pop(&n.events)
+				continue
+			}
+			if peek.at > deadline {
+				break
+			}
+			ev = heap.Pop(&n.events).(*event)
+			n.now = ev.at
+			run = true
+			break
+		}
+		n.mu.Unlock()
+		if !run {
+			if n.Now() < deadline {
+				n.mu.Lock()
+				n.now = deadline
+				n.mu.Unlock()
+			}
+			return
+		}
+		ev.fn()
+	}
+}
+
+// RunFor advances virtual time by d, executing due events.
+func (n *Network) RunFor(d time.Duration) { n.RunUntil(n.Now() + d) }
+
+// Pending returns the number of queued events (cancelled ones
+// included), for diagnostics.
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.events.Len()
+}
+
+// String summarizes the network state.
+func (n *Network) String() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return fmt.Sprintf("netsim{t=%v endpoints=%d pending=%d}", n.now, len(n.endpoints), n.events.Len())
+}
+
+// event is one scheduled occurrence in the simulation.
+type event struct {
+	at        time.Duration
+	seq       uint64 // schedule order; ties in time break by seq
+	fn        func()
+	cancelled bool
+}
+
+// eventHeap is a min-heap over (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"horus/internal/core"
+)
+
+// RealTime is a goroutine-based in-process transport using wall-clock
+// timers. It provides the same best-effort semantics as Network but
+// runs in real time, for example programs that want to feel like a
+// live system. Determinism is not guaranteed; tests should use Network.
+type RealTime struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[core.EndpointID]*core.Endpoint
+	order     []core.EndpointID
+	crashed   map[core.EndpointID]bool
+	link      Link
+	nextBirth uint64
+	start     time.Time
+}
+
+// NewRealTime creates a real-time transport with the given link
+// behaviour between every pair.
+func NewRealTime(seed int64, link Link) *RealTime {
+	return &RealTime{
+		rng:       rand.New(rand.NewSource(seed)),
+		endpoints: make(map[core.EndpointID]*core.Endpoint),
+		crashed:   make(map[core.EndpointID]bool),
+		link:      link,
+		nextBirth: 1,
+		start:     time.Now(),
+	}
+}
+
+// NewEndpoint creates and attaches an endpoint at the named site.
+func (r *RealTime) NewEndpoint(site string) *core.Endpoint {
+	r.mu.Lock()
+	id := core.EndpointID{Site: site, Birth: r.nextBirth}
+	r.nextBirth++
+	r.mu.Unlock()
+	ep := core.NewEndpoint(id, r)
+	r.mu.Lock()
+	r.endpoints[id] = ep
+	r.order = append(r.order, id)
+	r.mu.Unlock()
+	return ep
+}
+
+// Crash fail-stops the endpoint.
+func (r *RealTime) Crash(id core.EndpointID) {
+	r.mu.Lock()
+	ep := r.endpoints[id]
+	r.crashed[id] = true
+	r.mu.Unlock()
+	if ep != nil {
+		ep.Destroy()
+	}
+}
+
+// Send implements core.Transport.
+func (r *RealTime) Send(from core.EndpointID, group core.GroupAddr, dests []core.EndpointID, wire []byte) {
+	r.mu.Lock()
+	if r.crashed[from] {
+		r.mu.Unlock()
+		return
+	}
+	targets := dests
+	if len(targets) == 0 {
+		targets = append([]core.EndpointID(nil), r.order...)
+	}
+	type delivery struct {
+		ep    *core.Endpoint
+		delay time.Duration
+	}
+	var out []delivery
+	for _, dst := range targets {
+		ep := r.endpoints[dst]
+		if ep == nil || r.crashed[dst] {
+			continue
+		}
+		if r.link.LossRate > 0 && r.rng.Float64() < r.link.LossRate {
+			continue
+		}
+		delay := r.link.Delay
+		if r.link.Jitter > 0 {
+			delay += time.Duration(r.rng.Int63n(int64(r.link.Jitter)))
+		}
+		out = append(out, delivery{ep, delay})
+	}
+	r.mu.Unlock()
+
+	for _, d := range out {
+		buf := make([]byte, len(wire))
+		copy(buf, wire)
+		ep := d.ep
+		if d.delay <= 0 {
+			// Deliver on a fresh goroutine to keep Send non-blocking;
+			// the endpoint's event queue serializes execution.
+			go ep.Deliver(group, buf)
+			continue
+		}
+		time.AfterFunc(d.delay, func() { ep.Deliver(group, buf) })
+	}
+}
+
+// SetTimer implements core.Transport using wall-clock timers.
+func (r *RealTime) SetTimer(d time.Duration, fn func()) (cancel func()) {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}
+
+// Now implements core.Transport: wall time since transport creation.
+func (r *RealTime) Now() time.Duration { return time.Since(r.start) }

@@ -1,0 +1,148 @@
+package property
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+)
+
+// ParseStack splits a "TOTAL:MBRSHIP:FRAG:NAK:COM" stack description
+// (top first, the paper's notation) into layer names.
+func ParseStack(desc string) []string {
+	var out []string
+	for _, name := range strings.Split(desc, ":") {
+		name = strings.ToUpper(strings.TrimSpace(name))
+		if name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Derive computes the property set offered at the top of the stack
+// (named top first) over a network providing the given properties,
+// checking well-formedness on the way up. It returns an error naming
+// the first layer whose requirements the stack beneath it does not
+// satisfy.
+func Derive(network Set, stack []string) (Set, error) {
+	below := network
+	for i := len(stack) - 1; i >= 0; i-- {
+		spec, err := Spec(stack[i])
+		if err != nil {
+			return 0, err
+		}
+		if !below.Has(spec.Requires) {
+			return 0, fmt.Errorf(
+				"property: stack not well-formed: layer %s requires %v but only %v is available beneath it",
+				spec.Name, spec.Requires.Minus(below), below)
+		}
+		below = spec.Provides | (below & spec.Inherits)
+	}
+	return below, nil
+}
+
+// WellFormed reports whether the stack (top first) is well-formed over
+// the given network.
+func WellFormed(network Set, stack []string) bool {
+	_, err := Derive(network, stack)
+	return err == nil
+}
+
+// Synthesize finds a minimum-cost well-formed stack over the given
+// network that provides at least the required properties, searching
+// over the candidate layers (Table3 by default if candidates is nil).
+// The result is named top first, like the paper's stack notation.
+//
+// The search is Dijkstra over property sets: a state is the property
+// set available at the current top of the stack; stacking a layer
+// whose requirements the state satisfies moves to
+// Provides | (state & Inherits) at the layer's cost. This realizes the
+// paper's §6 idea: "if we can associate a cost with each of the
+// properties, possibly on a per-layer basis, we can even create a
+// minimal stack."
+func Synthesize(network, required Set, candidates []LayerSpec) ([]string, error) {
+	if candidates == nil {
+		candidates = Table3
+	}
+	type state struct {
+		props Set
+		cost  int
+	}
+	dist := make(map[Set]int)
+	prev := make(map[Set]struct {
+		from  Set
+		layer string
+	})
+	pq := &stateHeap{}
+	heap.Push(pq, stateEntry{props: network, cost: 0})
+	dist[network] = 0
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(stateEntry)
+		if d, ok := dist[cur.props]; ok && cur.cost > d {
+			continue
+		}
+		if cur.props.Has(required) {
+			// Reconstruct: walk back to the network state.
+			var stack []string
+			at := cur.props
+			for at != network {
+				p := prev[at]
+				stack = append(stack, p.layer) // naturally top-first
+				at = p.from
+			}
+			return stack, nil
+		}
+		for _, spec := range candidates {
+			if !cur.props.Has(spec.Requires) {
+				continue
+			}
+			next := spec.Provides | (cur.props & spec.Inherits)
+			if next == cur.props {
+				continue // no progress; avoids zero-cost cycles
+			}
+			cost := cur.cost + spec.Cost
+			if d, ok := dist[next]; !ok || cost < d {
+				dist[next] = cost
+				prev[next] = struct {
+					from  Set
+					layer string
+				}{from: cur.props, layer: spec.Name}
+				heap.Push(pq, stateEntry{props: next, cost: cost})
+			}
+		}
+	}
+	return nil, fmt.Errorf("property: no stack over %v provides %v", network, required)
+}
+
+// StackCost sums the per-layer costs of a stack.
+func StackCost(stack []string) (int, error) {
+	total := 0
+	for _, name := range stack {
+		spec, err := Spec(name)
+		if err != nil {
+			return 0, err
+		}
+		total += spec.Cost
+	}
+	return total, nil
+}
+
+type stateEntry struct {
+	props Set
+	cost  int
+}
+
+type stateHeap []stateEntry
+
+func (h stateHeap) Len() int            { return len(h) }
+func (h stateHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(stateEntry)) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,63 @@
+package property
+
+import "testing"
+
+// TestStackingOrderMatters makes §8's closing question executable:
+// "to help decide when the stacking order of two layers matters." The
+// calculus answers it — for some pairs both orders are well-formed and
+// equivalent, for others exactly one order works.
+func TestStackingOrderMatters(t *testing.T) {
+	cases := []struct {
+		name    string
+		ab, ba  string
+		abOK    bool
+		baOK    bool
+		samePro bool // when both work: do they provide the same set?
+	}{
+		{
+			// Ordering layers need membership below: only one order.
+			name: "TOTAL vs MBRSHIP",
+			ab:   "TOTAL:MBRSHIP:FRAG:NAK:COM", abOK: true,
+			ba: "MBRSHIP:TOTAL:FRAG:NAK:COM", baOK: false,
+		},
+		{
+			// FRAG needs FIFO below: NAK must be under it.
+			name: "FRAG vs NAK",
+			ab:   "FRAG:NAK:COM", abOK: true,
+			ba: "NAK:FRAG:COM", baOK: false,
+		},
+		{
+			// Transparent layers commute.
+			name: "TRACE vs ACCOUNT",
+			ab:   "TRACE:ACCOUNT:NAK:COM", abOK: true,
+			ba: "ACCOUNT:TRACE:NAK:COM", baOK: true, samePro: true,
+		},
+		{
+			// Both integrity layers sit over raw COM in either order.
+			name: "SIGN vs CHKSUM",
+			ab:   "NAK:SIGN:CHKSUM:COM", abOK: true,
+			ba: "NAK:CHKSUM:SIGN:COM", baOK: true, samePro: true,
+		},
+		{
+			// Stability providers and consumers do not commute.
+			name: "SAFE vs STABLE",
+			ab:   "SAFE:STABLE:MBRSHIP:FRAG:NAK:COM", abOK: true,
+			ba: "STABLE:SAFE:MBRSHIP:FRAG:NAK:COM", baOK: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pab, errAB := Derive(P1, ParseStack(tc.ab))
+			pba, errBA := Derive(P1, ParseStack(tc.ba))
+			if (errAB == nil) != tc.abOK {
+				t.Errorf("%s: well-formed=%v, want %v (%v)", tc.ab, errAB == nil, tc.abOK, errAB)
+			}
+			if (errBA == nil) != tc.baOK {
+				t.Errorf("%s: well-formed=%v, want %v (%v)", tc.ba, errBA == nil, tc.baOK, errBA)
+			}
+			if tc.abOK && tc.baOK && tc.samePro && pab != pba {
+				t.Errorf("commuting pair provides %v vs %v", pab, pba)
+			}
+		})
+	}
+}

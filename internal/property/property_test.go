@@ -1,0 +1,263 @@
+package property
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable4Complete(t *testing.T) {
+	if len(Descriptions) != 16 {
+		t.Fatalf("Table 4 has %d properties, want 16", len(Descriptions))
+	}
+	for i := 1; i <= 16; i++ {
+		p := Set(1) << uint(i-1)
+		if Descriptions[p] == "" {
+			t.Errorf("P%d has no description", i)
+		}
+		if p.Index() != i {
+			t.Errorf("P%d.Index() = %d", i, p.Index())
+		}
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := P3 | P4 | P10
+	if !s.Has(P3 | P4) {
+		t.Error("Has(P3|P4) = false")
+	}
+	if s.Has(P5) {
+		t.Error("Has(P5) = true")
+	}
+	if got := s.Minus(P4); got != P3|P10 {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := s.Union(P5); got != P3|P4|P5|P10 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := s.Count(); got != 3 {
+		t.Errorf("Count = %d", got)
+	}
+	if got := s.String(); got != "{P3,P4,P10}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseSetRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		s := Set(raw)
+		got, err := ParseSet(s.String())
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	for _, bad := range []string{"P0", "P17", "Q3", "P"} {
+		if _, err := ParseSet(bad); err == nil {
+			t.Errorf("ParseSet(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSection7Derivation is the paper's worked example: the stack
+// TOTAL:MBRSHIP:FRAG:NAK:COM over an ATM network providing only P1
+// "results in the properties P3, P4, P6, P8, P9, P10, P11, P12 and
+// P15".
+func TestSection7Derivation(t *testing.T) {
+	got, err := Derive(P1, ParseStack("TOTAL:MBRSHIP:FRAG:NAK:COM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := P3 | P4 | P6 | P8 | P9 | P10 | P11 | P12 | P15
+	if got != want {
+		t.Fatalf("derived %v, want %v (paper §7)", got, want)
+	}
+}
+
+// TestTable3Matrix checks structural invariants of every row.
+func TestTable3Matrix(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range Table3 {
+		if seen[spec.Name] {
+			t.Errorf("duplicate row %s", spec.Name)
+		}
+		seen[spec.Name] = true
+		if spec.Cost <= 0 {
+			t.Errorf("%s: cost %d", spec.Name, spec.Cost)
+		}
+		if spec.Provides&spec.Requires != 0 {
+			t.Errorf("%s: provides what it requires: %v", spec.Name,
+				spec.Provides&spec.Requires)
+		}
+	}
+	// Every property some layer requires must be providable (by the
+	// network: P1; or by some layer).
+	providable := P1
+	for _, spec := range Table3 {
+		providable |= spec.Provides
+	}
+	for _, spec := range Table3 {
+		if !providable.Has(spec.Requires) {
+			t.Errorf("%s requires unprovidable %v", spec.Name,
+				spec.Requires.Minus(providable))
+		}
+	}
+	// The key paper rows exist.
+	for _, name := range []string{"COM", "NFRAG", "NAK", "NNAK", "FRAG", "MBRSHIP",
+		"BMS", "VSS", "FLUSH", "STABLE", "PINWHEEL", "TOTAL", "CAUSAL", "SAFE", "MERGE"} {
+		if _, err := Spec(name); err != nil {
+			t.Errorf("missing Table 3 row %s", name)
+		}
+	}
+}
+
+func TestDeriveRejectsIllFormed(t *testing.T) {
+	cases := []struct {
+		stack string
+		why   string
+	}{
+		{"TOTAL:COM", "TOTAL over unreliable COM"},
+		{"MBRSHIP:NAK:COM", "MBRSHIP without FRAG (needs P12)"},
+		{"NAK", "NAK with no COM below (needs P10, P11)"},
+		{"FRAG:COM", "FRAG over unreliable delivery"},
+		{"CAUSAL:MBRSHIP:FRAG:NAK:COM", "CAUSAL without TSTAMP (needs P13)"},
+		{"SAFE:MBRSHIP:FRAG:NAK:COM", "SAFE without stability (needs P14)"},
+		{"COM:NAK", "COM stacked above NAK (COM needs raw P1)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.why, func(t *testing.T) {
+			if _, err := Derive(P1, ParseStack(tc.stack)); err == nil {
+				t.Errorf("stack %s accepted: %s", tc.stack, tc.why)
+			}
+		})
+	}
+}
+
+func TestDeriveAcceptsKnownGood(t *testing.T) {
+	stacks := []string{
+		"COM",
+		"NAK:COM",
+		"FRAG:NAK:COM",
+		"NAK:CHKSUM:COM",
+		"MBRSHIP:FRAG:NAK:COM",
+		"TOTAL:MBRSHIP:FRAG:NAK:COM",
+		"MERGE:MBRSHIP:FRAG:NAK:COM",
+		"STABLE:MBRSHIP:FRAG:NAK:COM",
+		"SAFE:STABLE:MBRSHIP:FRAG:NAK:COM",
+		"CAUSAL:TSTAMP:MBRSHIP:FRAG:NAK:COM",
+		"FLUSH:STABLE:BMS:FRAG:NAK:COM",
+		"VSS:STABLE:BMS:FRAG:NAK:COM",
+		"TOTAL:MBRSHIP:FRAG:FC:NAK:SIGN:CRYPT:COMPRESS:CHKSUM:COM",
+		"TRACE:ACCOUNT:MLOG:TOTAL:MBRSHIP:FRAG:NAK:COM",
+		"NFRAG:NNAK:COM",
+	}
+	for _, s := range stacks {
+		if _, err := Derive(P1, ParseStack(s)); err != nil {
+			t.Errorf("stack %s rejected: %v", s, err)
+		}
+	}
+}
+
+func TestSynthesizeTotalOrderStack(t *testing.T) {
+	stack, err := Synthesize(P1, P6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the exact stack, it must be well-formed and provide P6.
+	got, err := Derive(P1, stack)
+	if err != nil {
+		t.Fatalf("synthesized stack %v ill-formed: %v", stack, err)
+	}
+	if !got.Has(P6) {
+		t.Fatalf("synthesized stack %v provides %v, missing P6", stack, got)
+	}
+	t.Logf("synthesized for P6: %s (cost %d)", strings.Join(stack, ":"), mustCost(t, stack))
+}
+
+func TestSynthesizeIsMinimal(t *testing.T) {
+	// For P3|P4 over P1 the unique minimal stack is NAK:COM.
+	stack, err := Synthesize(P1, P3|P4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stack) != 2 || stack[0] != "NAK" || stack[1] != "COM" {
+		t.Fatalf("synthesized %v, want [NAK COM]", stack)
+	}
+}
+
+func TestSynthesizeEveryProperty(t *testing.T) {
+	// Every single property (except P1, which is the network's) must
+	// be synthesizable from a P1 network.
+	for i := 2; i <= 16; i++ {
+		p := Set(1) << uint(i-1)
+		stack, err := Synthesize(P1, p, nil)
+		if err != nil {
+			t.Errorf("P%d unsynthesizable: %v", i, err)
+			continue
+		}
+		got, err := Derive(P1, stack)
+		if err != nil || !got.Has(p) {
+			t.Errorf("P%d: synthesized stack %v broken: %v %v", i, stack, got, err)
+		}
+	}
+}
+
+func TestSynthesizeImpossible(t *testing.T) {
+	// Nothing can be built over an empty network.
+	if _, err := Synthesize(0, P3, nil); err == nil {
+		t.Error("synthesized a stack over a property-free network")
+	}
+}
+
+// Property: every synthesized stack is well-formed and sufficient, for
+// random goal sets restricted to synthesizable properties.
+func TestQuickSynthesizeSound(t *testing.T) {
+	synthesizable := P2 | P3 | P4 | P5 | P6 | P7 | P8 | P9 | P10 | P11 | P12 | P13 | P14 | P15 | P16
+	f := func(raw uint16) bool {
+		goal := Set(raw) & synthesizable
+		stack, err := Synthesize(P1, goal, nil)
+		if err != nil {
+			return false
+		}
+		got, err := Derive(P1, stack)
+		return err == nil && got.Has(goal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: derivation is monotone in the network: a richer network
+// never breaks a stack that was well-formed on a poorer one.
+func TestQuickDeriveMonotone(t *testing.T) {
+	stacks := [][]string{
+		ParseStack("NAK:COM"),
+		ParseStack("FRAG:NAK:COM"),
+		ParseStack("TOTAL:MBRSHIP:FRAG:NAK:COM"),
+	}
+	f := func(raw uint16, pick uint8) bool {
+		net := P1 | Set(raw)
+		stack := stacks[int(pick)%len(stacks)]
+		base, err1 := Derive(P1, stack)
+		rich, err2 := Derive(net, stack)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rich.Has(base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustCost(t *testing.T, stack []string) int {
+	t.Helper()
+	c, err := StackCost(stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

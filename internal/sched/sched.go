@@ -1,0 +1,159 @@
+// Package sched implements the concurrency disciplines of paper §3.
+//
+// Horus threads "execute concurrently and pre-emptively, using mutual
+// exclusion to protect critical regions", but locking proved to be a
+// source of bugs in layers developed by inexperienced thread users, so
+// the paper offers two simpler alternatives to raw critical sections —
+// the monitor discipline and event counters — and reports ultimately
+// moving to a non-threaded event-queue model (§3 end, §10 item 2),
+// which is what the core package's per-endpoint executor implements.
+// This package provides all three as reusable primitives; the
+// BenchmarkThreadedVsEventQueue experiment compares them.
+package sched
+
+import (
+	"sync"
+)
+
+// Monitor treats a protected object as a monitor: only one goroutine
+// at a time may be active inside it ("allowing only one thread at a
+// time to be active for each group object"). The zero value is ready
+// to use.
+type Monitor struct {
+	mu sync.Mutex
+}
+
+// Do runs fn exclusively.
+func (m *Monitor) Do(fn func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn()
+}
+
+// EventCounter is the paper's second discipline: a monotone counter
+// that goroutines can advance and await. Combined with ticket
+// assignment it orders threads "according to an integer sequencing
+// value".
+type EventCounter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	value uint64
+}
+
+// NewEventCounter returns a counter at zero.
+func NewEventCounter() *EventCounter {
+	e := &EventCounter{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Read returns the current value.
+func (e *EventCounter) Read() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
+
+// Advance increments the counter and wakes waiters.
+func (e *EventCounter) Advance() {
+	e.mu.Lock()
+	e.value++
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// Await blocks until the counter reaches at least v.
+func (e *EventCounter) Await(v uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.value < v {
+		e.cond.Wait()
+	}
+}
+
+// Sequencer assigns each upcall a ticket and admits holders into a
+// mutual-exclusion zone strictly in ticket order — the paper's
+// event-counter discipline packaged for direct use.
+type Sequencer struct {
+	mu     sync.Mutex
+	next   uint64 // next ticket to hand out
+	serve  uint64 // ticket currently admitted
+	waiter *sync.Cond
+}
+
+// NewSequencer returns a sequencer admitting ticket 0 first.
+func NewSequencer() *Sequencer {
+	s := &Sequencer{}
+	s.waiter = sync.NewCond(&s.mu)
+	return s
+}
+
+// Ticket draws the next sequencing value. Draw tickets in the order
+// events arrive (e.g. inside the delivery goroutine) and run Enter
+// from worker goroutines.
+func (s *Sequencer) Ticket() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.next
+	s.next++
+	return t
+}
+
+// Enter blocks until every earlier ticket has left, runs fn, and
+// admits the next ticket.
+func (s *Sequencer) Enter(ticket uint64, fn func()) {
+	s.mu.Lock()
+	for s.serve != ticket {
+		s.waiter.Wait()
+	}
+	s.mu.Unlock()
+
+	fn()
+
+	s.mu.Lock()
+	s.serve++
+	s.mu.Unlock()
+	s.waiter.Broadcast()
+}
+
+// Queue is a standalone run-to-completion event queue: Post enqueues
+// work, and a single logical scheduling thread drains it, so handlers
+// never run concurrently — the paper's event-queue model. Unlike a
+// dedicated worker goroutine, the draining is done by whichever poster
+// finds the queue idle, so an idle Queue costs nothing.
+type Queue struct {
+	mu      sync.Mutex
+	items   []func()
+	running bool
+	posted  uint64
+	ran     uint64
+}
+
+// Post enqueues fn and drains the queue if no drain is active.
+func (q *Queue) Post(fn func()) {
+	q.mu.Lock()
+	q.items = append(q.items, fn)
+	q.posted++
+	if q.running {
+		q.mu.Unlock()
+		return
+	}
+	q.running = true
+	for len(q.items) > 0 {
+		next := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		next()
+		q.mu.Lock()
+		q.ran++
+	}
+	q.running = false
+	q.mu.Unlock()
+}
+
+// Stats returns how many events were posted and completed.
+func (q *Queue) Stats() (posted, ran uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.posted, q.ran
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMonitorMutualExclusion(t *testing.T) {
+	var m Monitor
+	var active, maxActive int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Do(func() {
+					n := atomic.AddInt32(&active, 1)
+					if n > atomic.LoadInt32(&maxActive) {
+						atomic.StoreInt32(&maxActive, n)
+					}
+					atomic.AddInt32(&active, -1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if maxActive != 1 {
+		t.Errorf("max concurrent holders = %d, want 1", maxActive)
+	}
+}
+
+func TestEventCounterAwait(t *testing.T) {
+	e := NewEventCounter()
+	done := make(chan struct{})
+	go func() {
+		e.Await(10)
+		close(done)
+	}()
+	for i := 0; i < 10; i++ {
+		select {
+		case <-done:
+			t.Fatalf("Await(10) returned after %d advances", i)
+		default:
+		}
+		e.Advance()
+	}
+	<-done
+	if got := e.Read(); got != 10 {
+		t.Errorf("Read = %d, want 10", got)
+	}
+}
+
+func TestSequencerOrdersEntry(t *testing.T) {
+	s := NewSequencer()
+	const n = 50
+	tickets := make([]uint64, n)
+	for i := range tickets {
+		tickets[i] = s.Ticket()
+	}
+	var mu sync.Mutex
+	var order []uint64
+	var wg sync.WaitGroup
+	// Launch in reverse so the scheduler cannot accidentally get the
+	// order right.
+	for i := n - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(ticket uint64) {
+			defer wg.Done()
+			s.Enter(ticket, func() {
+				mu.Lock()
+				order = append(order, ticket)
+				mu.Unlock()
+			})
+		}(tickets[i])
+	}
+	wg.Wait()
+	for i, got := range order {
+		if got != uint64(i) {
+			t.Fatalf("entry %d had ticket %d; order %v", i, got, order)
+		}
+	}
+}
+
+func TestQueueRunToCompletion(t *testing.T) {
+	var q Queue
+	var active, maxActive int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				q.Post(func() {
+					n := atomic.AddInt32(&active, 1)
+					if n > atomic.LoadInt32(&maxActive) {
+						atomic.StoreInt32(&maxActive, n)
+					}
+					atomic.AddInt32(&active, -1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if maxActive != 1 {
+		t.Errorf("max concurrent handlers = %d, want 1", maxActive)
+	}
+	posted, _ := q.Stats()
+	if posted != 16*200 {
+		t.Errorf("posted = %d, want %d", posted, 16*200)
+	}
+}
+
+func TestQueueReentrantPost(t *testing.T) {
+	var q Queue
+	var order []int
+	q.Post(func() {
+		order = append(order, 1)
+		q.Post(func() { order = append(order, 3) })
+		order = append(order, 2)
+	})
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3] (nested post must not recurse)", order)
+	}
+}

@@ -1,0 +1,147 @@
+// Package socket hides a Horus process group behind a UNIX-socket
+// style interface (paper §2 and §11: "a UNIX sendto operation will be
+// mapped to a multicast, and a recvfrom will receive the next incoming
+// message"). It is the example of the paper's "top-most module" that
+// converts the Horus protocol abstraction into one matching the
+// expectations of a user.
+package socket
+
+import (
+	"fmt"
+	"sync"
+
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// Datagram is one received message.
+type Datagram struct {
+	From core.EndpointID
+	Data []byte
+}
+
+// Socket presents a joined group as a datagram socket.
+type Socket struct {
+	group *core.Group
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []Datagram
+	limit   int
+	dropped int
+	closed  bool
+	view    *core.View
+}
+
+// Open joins the group with the given stack and returns the socket
+// facade. The inbox buffers up to limit datagrams (0 means 1024);
+// overflow drops the oldest, like a real datagram socket.
+func Open(ep *core.Endpoint, addr core.GroupAddr, spec core.StackSpec, limit int) (*Socket, error) {
+	if limit <= 0 {
+		limit = 1024
+	}
+	s := &Socket{limit: limit}
+	s.cond = sync.NewCond(&s.mu)
+	g, err := ep.Join(addr, spec, s.handle)
+	if err != nil {
+		return nil, fmt.Errorf("socket: %w", err)
+	}
+	s.group = g
+	return s, nil
+}
+
+// handle is the socket's upcall handler.
+func (s *Socket) handle(ev *core.Event) {
+	switch ev.Type {
+	case core.UCast, core.USend:
+		s.mu.Lock()
+		if len(s.inbox) >= s.limit {
+			s.inbox = s.inbox[1:]
+			s.dropped++
+		}
+		s.inbox = append(s.inbox, Datagram{
+			From: ev.Source,
+			Data: append([]byte(nil), ev.Msg.Body()...),
+		})
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	case core.UView:
+		s.mu.Lock()
+		s.view = ev.View
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	case core.UExit:
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+}
+
+// Sendto multicasts data to the group (the sendto mapping).
+func (s *Socket) Sendto(data []byte) {
+	s.group.Cast(message.New(append([]byte(nil), data...)))
+}
+
+// SendtoMember sends data to a single member.
+func (s *Socket) SendtoMember(dst core.EndpointID, data []byte) {
+	s.group.Send([]core.EndpointID{dst}, message.New(append([]byte(nil), data...)))
+}
+
+// Recvfrom blocks until a datagram arrives or the socket closes (the
+// recvfrom mapping). Use TryRecvfrom in single-threaded simulations.
+func (s *Socket) Recvfrom() (Datagram, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.inbox) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.inbox) == 0 {
+		return Datagram{}, false
+	}
+	d := s.inbox[0]
+	s.inbox = s.inbox[1:]
+	return d, true
+}
+
+// TryRecvfrom returns the next datagram without blocking.
+func (s *Socket) TryRecvfrom() (Datagram, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.inbox) == 0 {
+		return Datagram{}, false
+	}
+	d := s.inbox[0]
+	s.inbox = s.inbox[1:]
+	return d, true
+}
+
+// View returns the group view as last installed, or nil.
+func (s *Socket) View() *core.View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view
+}
+
+// Merge asks the stack to merge with the view reachable at contact
+// (how a socket-level process joins an existing conversation).
+func (s *Socket) Merge(contact core.EndpointID) { s.group.Merge(contact) }
+
+// Dropped reports datagrams discarded to inbox overflow.
+func (s *Socket) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Group exposes the underlying group handle.
+func (s *Socket) Group() *core.Group { return s.group }
+
+// Close leaves the group.
+func (s *Socket) Close() {
+	s.group.Leave()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

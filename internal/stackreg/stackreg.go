@@ -1,0 +1,118 @@
+// Package stackreg maps layer names to factories so that stacks can be
+// assembled at run time from textual descriptions like
+// "TOTAL:MBRSHIP:FRAG:NAK:COM" — the run-time LEGO stacking of
+// Figure 1. The registry pairs with package property, whose Table3
+// rows carry the same names; Build checks well-formedness before
+// instantiating anything.
+package stackreg
+
+import (
+	"fmt"
+
+	"horus/internal/core"
+	"horus/internal/layers/account"
+	"horus/internal/layers/bms"
+	"horus/internal/layers/causal"
+	"horus/internal/layers/chksum"
+	"horus/internal/layers/com"
+	"horus/internal/layers/compress"
+	"horus/internal/layers/crypt"
+	"horus/internal/layers/fc"
+	"horus/internal/layers/flush"
+	"horus/internal/layers/frag"
+	"horus/internal/layers/gkey"
+	"horus/internal/layers/mbrship"
+	"horus/internal/layers/merge"
+	"horus/internal/layers/mlog"
+	"horus/internal/layers/nak"
+	"horus/internal/layers/nfrag"
+	"horus/internal/layers/nnak"
+	"horus/internal/layers/pinwheel"
+	"horus/internal/layers/safe"
+	"horus/internal/layers/sign"
+	"horus/internal/layers/stable"
+	"horus/internal/layers/total"
+	"horus/internal/layers/trace"
+	"horus/internal/layers/tstamp"
+	"horus/internal/layers/vss"
+	"horus/internal/property"
+)
+
+// demoKey is the pre-shared key used by SIGN and CRYPT layers built
+// from the registry. Real deployments would configure keys explicitly
+// (Figure 1's "key distribution" protocol type).
+var demoKey = []byte("horus-demo-key-0123456789abcdef!")[:32]
+
+// Registry returns a fresh name→factory map. Each call returns
+// independent factories; MLOG layers share one in-memory store per
+// registry.
+func Registry() map[string]core.Factory {
+	store := mlog.NewMemStore()
+	return map[string]core.Factory{
+		"COM":      com.New,
+		"NAK":      nak.New,
+		"NNAK":     nnak.New,
+		"FRAG":     frag.New,
+		"NFRAG":    nfrag.New,
+		"CHKSUM":   chksum.New,
+		"SIGN":     sign.New(demoKey),
+		"CRYPT":    crypt.New(demoKey),
+		"COMPRESS": compress.New,
+		"FC":       fc.New,
+		"GKEY":     gkey.New(demoKey),
+		"MBRSHIP":  mbrship.New,
+		"BMS":      bms.NewAutoConsent(),
+		"FLUSH":    flush.New,
+		"VSS":      vss.New,
+		"STABLE":   stable.New,
+		"PINWHEEL": pinwheel.New,
+		"TOTAL":    total.New,
+		"TSTAMP":   tstamp.New,
+		"CAUSAL":   causal.New,
+		"SAFE":     safe.New,
+		"MERGE":    merge.New,
+		"TRACE":    trace.New,
+		"ACCOUNT":  account.New,
+		"MLOG":     mlog.New(store),
+	}
+}
+
+// Build parses a top-first stack description, verifies it is
+// well-formed over a network providing netProps, and returns the
+// corresponding StackSpec.
+func Build(desc string, netProps property.Set) (core.StackSpec, error) {
+	names := property.ParseStack(desc)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("stackreg: empty stack description %q", desc)
+	}
+	if _, err := property.Derive(netProps, names); err != nil {
+		return nil, err
+	}
+	reg := Registry()
+	// BMS consents to flushes by itself unless a FLUSH or VSS layer
+	// above will do the consenting after redistributing messages.
+	for _, name := range names {
+		if name == "FLUSH" || name == "VSS" {
+			reg["BMS"] = bms.NewWith()
+			break
+		}
+	}
+	spec := make(core.StackSpec, 0, len(names))
+	for _, name := range names {
+		f, ok := reg[name]
+		if !ok {
+			return nil, fmt.Errorf("stackreg: layer %q has a Table 3 row but no implementation", name)
+		}
+		spec = append(spec, f)
+	}
+	return spec, nil
+}
+
+// MustBuild is Build for tests and tools with known-good descriptions.
+func MustBuild(desc string, netProps property.Set) core.StackSpec {
+	spec, err := Build(desc, netProps)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}

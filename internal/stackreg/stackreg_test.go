@@ -1,0 +1,47 @@
+package stackreg
+
+import (
+	"testing"
+
+	"horus/internal/property"
+)
+
+func TestRegistryCoversTable3(t *testing.T) {
+	reg := Registry()
+	for _, name := range property.Names() {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("Table 3 layer %s has no registered factory", name)
+		}
+	}
+}
+
+func TestRegistryFactoriesProduceNamedLayers(t *testing.T) {
+	for name, f := range Registry() {
+		l := f()
+		if got := l.Name(); got != name {
+			t.Errorf("factory %q builds layer named %q", name, got)
+		}
+	}
+}
+
+func TestBuildWellFormedStack(t *testing.T) {
+	spec, err := Build("TOTAL:MBRSHIP:FRAG:NAK:COM", property.P1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 5 {
+		t.Fatalf("built %d layers, want 5", len(spec))
+	}
+}
+
+func TestBuildRejectsIllFormed(t *testing.T) {
+	if _, err := Build("TOTAL:COM", property.P1); err == nil {
+		t.Error("ill-formed stack accepted")
+	}
+	if _, err := Build("", property.P1); err == nil {
+		t.Error("empty stack accepted")
+	}
+	if _, err := Build("NOSUCH:COM", property.P1); err == nil {
+		t.Error("unknown layer accepted")
+	}
+}

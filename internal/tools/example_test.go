@@ -1,0 +1,61 @@
+package tools_test
+
+import (
+	"fmt"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/layers/com"
+	"horus/internal/layers/frag"
+	"horus/internal/layers/mbrship"
+	"horus/internal/layers/nak"
+	"horus/internal/layers/total"
+	"horus/internal/netsim"
+	"horus/internal/tools"
+)
+
+// A two-replica counter as a replicated state machine over the §7
+// stack: both replicas propose, the TOTAL token serializes, both apply
+// identically.
+func ExampleRSM() {
+	net := netsim.New(netsim.Config{Seed: 1, DefaultLink: netsim.Link{Delay: time.Millisecond}})
+	stack := func() core.StackSpec {
+		return core.StackSpec{
+			total.NewWith(total.WithRequestRetry(50 * time.Millisecond)),
+			mbrship.NewWith(
+				mbrship.WithGossipPeriod(40*time.Millisecond),
+				mbrship.WithFlushTimeout(500*time.Millisecond),
+			),
+			frag.New,
+			nak.NewWith(nak.WithStatusPeriod(20*time.Millisecond), nak.WithSuspectAfter(6)),
+			com.New,
+		}
+	}
+
+	mk := func(name string, creator bool) (*tools.RSM, *core.Group, *int) {
+		count := new(int)
+		r := tools.NewRSM(func(cmd []byte) { *count += int(cmd[0]) }, nil, nil)
+		ep := net.NewEndpoint(name)
+		g, err := ep.Join("counter", stack(), r.Handler())
+		if err != nil {
+			panic(err)
+		}
+		r.Bind(g)
+		if creator {
+			r.Bootstrap()
+		}
+		return r, g, count
+	}
+	r1, g1, c1 := mk("alice", true)
+	r2, g2, c2 := mk("bob", false)
+
+	net.At(10*time.Millisecond, func() { g2.Merge(g1.Endpoint().ID()) })
+	net.At(200*time.Millisecond, func() {
+		r1.Propose([]byte{5})
+		r2.Propose([]byte{7})
+	})
+	net.RunFor(2 * time.Second)
+
+	fmt.Println("alice:", *c1, "bob:", *c2)
+	// Output: alice: 12 bob: 12
+}

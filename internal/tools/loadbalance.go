@@ -1,0 +1,97 @@
+package tools
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"horus/internal/core"
+)
+
+// Balancer is the load-balancing tool of §1: it deterministically
+// assigns work items to group members using only the agreed view, so
+// every member computes the identical assignment with no coordination
+// messages at all — consistent views (P15) do the whole job. When the
+// view changes, ownership rebalances automatically; virtual synchrony
+// guarantees all survivors switch assignments at the same logical
+// moment.
+//
+// Items are assigned by rendezvous (highest-random-weight) hashing,
+// which moves only the items owned by departed members.
+type Balancer struct {
+	mu   sync.Mutex
+	self core.EndpointID
+	view *core.View
+
+	// OnViewChange, if set, fires after each rebalancing view with the
+	// new view (without internal locks held).
+	OnViewChange func(v *core.View)
+}
+
+// NewBalancer creates the tool.
+func NewBalancer() *Balancer { return &Balancer{} }
+
+// Bind attaches the group handle after Join.
+func (b *Balancer) Bind(g *core.Group) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.self = g.Endpoint().ID()
+}
+
+// Handler returns the upcall handler to pass to Join. Compose it with
+// the application's handler if the group carries other traffic.
+func (b *Balancer) Handler() core.Handler {
+	return func(ev *core.Event) {
+		if ev.Type != core.UView {
+			return
+		}
+		b.mu.Lock()
+		b.view = ev.View
+		cb := b.OnViewChange
+		b.mu.Unlock()
+		if cb != nil {
+			cb(ev.View)
+		}
+	}
+}
+
+// Owner returns the member responsible for the item, and false before
+// the first view.
+func (b *Balancer) Owner(item string) (core.EndpointID, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.view == nil || b.view.Size() == 0 {
+		return core.EndpointID{}, false
+	}
+	var best core.EndpointID
+	var bestScore uint64
+	for _, m := range b.view.Members {
+		s := score(item, m)
+		if s > bestScore || (s == bestScore && best.Older(m)) {
+			best, bestScore = m, s
+		}
+	}
+	return best, true
+}
+
+// Mine reports whether this member owns the item.
+func (b *Balancer) Mine(item string) bool {
+	owner, ok := b.Owner(item)
+	b.mu.Lock()
+	self := b.self
+	b.mu.Unlock()
+	return ok && owner == self
+}
+
+// score computes the rendezvous weight of (item, member).
+func score(item string, m core.EndpointID) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(item))
+	h.Write([]byte{0})
+	h.Write([]byte(m.Site))
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(m.Birth >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}

@@ -1,0 +1,177 @@
+package tools
+
+import (
+	"sync"
+
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// LockManager is a distributed mutual-exclusion tool (the "locking"
+// tool of §1). Lock and unlock requests are multicast over a totally
+// ordered, virtually synchronous stack; every member therefore sees
+// the identical request sequence and computes the identical waiter
+// queue per lock, with no lock server. When a holder crashes, the view
+// change releases its locks deterministically.
+//
+// Usage mirrors RSM: create, Join with Handler(), Bind, then
+// Request/Release. The OnAcquire callback fires on the member that
+// obtained the lock.
+type LockManager struct {
+	mu    sync.Mutex
+	group *core.Group
+	self  core.EndpointID
+
+	queues map[string][]core.EndpointID // lock name -> waiters, head = holder
+
+	// OnAcquire, if set, is called (without internal locks held) when
+	// this member becomes the holder of a lock.
+	OnAcquire func(name string)
+}
+
+// Lock wire kinds.
+const (
+	lockReq = 1
+	lockRel = 2
+)
+
+// NewLockManager creates a lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{queues: make(map[string][]core.EndpointID)}
+}
+
+// Bind attaches the group handle after Join.
+func (l *LockManager) Bind(g *core.Group) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.group = g
+	l.self = g.Endpoint().ID()
+}
+
+// Request multicasts a lock request; the total order arbitrates.
+func (l *LockManager) Request(name string) {
+	l.cast(lockReq, name)
+}
+
+// Release multicasts an unlock.
+func (l *LockManager) Release(name string) {
+	l.cast(lockRel, name)
+}
+
+func (l *LockManager) cast(kind byte, name string) {
+	l.mu.Lock()
+	g := l.group
+	l.mu.Unlock()
+	if g == nil {
+		return
+	}
+	g.Cast(message.New(append([]byte{kind}, name...)))
+}
+
+// Holder returns the current holder of the lock and whether it is
+// held.
+func (l *LockManager) Holder(name string) (core.EndpointID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := l.queues[name]
+	if len(q) == 0 {
+		return core.EndpointID{}, false
+	}
+	return q[0], true
+}
+
+// HeldByMe reports whether this member holds the lock.
+func (l *LockManager) HeldByMe(name string) bool {
+	h, ok := l.Holder(name)
+	l.mu.Lock()
+	self := l.self
+	l.mu.Unlock()
+	return ok && h == self
+}
+
+// Handler returns the upcall handler to pass to Join.
+func (l *LockManager) Handler() core.Handler {
+	return func(ev *core.Event) {
+		switch ev.Type {
+		case core.UCast:
+			l.onCast(ev.Source, ev.Msg.Body())
+		case core.UView:
+			l.onView(ev.View)
+		}
+	}
+}
+
+func (l *LockManager) onCast(from core.EndpointID, body []byte) {
+	if len(body) < 1 {
+		return
+	}
+	kind, name := body[0], string(body[1:])
+	var acquired bool
+	l.mu.Lock()
+	q := l.queues[name]
+	switch kind {
+	case lockReq:
+		already := false
+		for _, w := range q {
+			if w == from {
+				already = true
+				break
+			}
+		}
+		if !already {
+			q = append(q, from)
+			if len(q) == 1 && from == l.self {
+				acquired = true
+			}
+		}
+	case lockRel:
+		if len(q) > 0 && q[0] == from {
+			q = q[1:]
+			if len(q) > 0 && q[0] == l.self {
+				acquired = true
+			}
+		}
+	}
+	if len(q) == 0 {
+		delete(l.queues, name)
+	} else {
+		l.queues[name] = q
+	}
+	cb := l.OnAcquire
+	l.mu.Unlock()
+	if acquired && cb != nil {
+		cb(name)
+	}
+}
+
+// onView drops departed members from every queue; a crashed holder's
+// lock passes to the next waiter. Every survivor computes the same
+// result from the same view.
+func (l *LockManager) onView(v *core.View) {
+	var acquired []string
+	l.mu.Lock()
+	for name, q := range l.queues {
+		keep := q[:0]
+		hadHolder := len(q) > 0 && q[0] == l.self
+		for _, w := range q {
+			if v.Contains(w) {
+				keep = append(keep, w)
+			}
+		}
+		if len(keep) == 0 {
+			delete(l.queues, name)
+			continue
+		}
+		l.queues[name] = keep
+		if !hadHolder && keep[0] == l.self {
+			acquired = append(acquired, name)
+		}
+	}
+	cb := l.OnAcquire
+	l.mu.Unlock()
+	if cb != nil {
+		for _, name := range acquired {
+			cb(name)
+		}
+	}
+}

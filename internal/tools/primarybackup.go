@@ -1,0 +1,140 @@
+package tools
+
+import (
+	"sync"
+
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// PrimaryBackup is the primary-backup fault-tolerance tool of §1. The
+// lowest-ranked view member is the primary; requests submitted at any
+// member are forwarded to it, the primary serializes them into
+// multicast updates, and every member applies the identical update
+// stream. When the primary fails, the view change promotes the next
+// member — with a virtually synchronous stack there is no window in
+// which survivors disagree about the update prefix.
+//
+// The stack needs P9 (virtual synchrony). P6 is unnecessary: only the
+// primary multicasts, so sender-FIFO order is already a total order.
+type PrimaryBackup struct {
+	mu    sync.Mutex
+	group *core.Group
+	self  core.EndpointID
+	view  *core.View
+	apply func(update []byte)
+
+	pending [][]byte // requests submitted before any view installed
+	applied int
+}
+
+// Primary-backup wire kinds.
+const (
+	pbRequest = 1 // client request forwarded to the primary
+	pbUpdate  = 2 // serialized update multicast by the primary
+)
+
+// NewPrimaryBackup creates the tool; apply receives each committed
+// update, in order, at every member.
+func NewPrimaryBackup(apply func(update []byte)) *PrimaryBackup {
+	return &PrimaryBackup{apply: apply}
+}
+
+// Bind attaches the group handle after Join.
+func (p *PrimaryBackup) Bind(g *core.Group) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.group = g
+	p.self = g.Endpoint().ID()
+}
+
+// IsPrimary reports whether this member currently leads.
+func (p *PrimaryBackup) IsPrimary() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.isPrimaryLocked()
+}
+
+func (p *PrimaryBackup) isPrimaryLocked() bool {
+	return p.view != nil && p.view.Size() > 0 && p.view.Members[0] == p.self
+}
+
+// Applied reports how many updates this member has applied.
+func (p *PrimaryBackup) Applied() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applied
+}
+
+// Submit hands a request to the replicated service from this member.
+func (p *PrimaryBackup) Submit(req []byte) {
+	p.mu.Lock()
+	g, view := p.group, p.view
+	primary := p.isPrimaryLocked()
+	if g == nil || view == nil {
+		p.pending = append(p.pending, append([]byte(nil), req...))
+		p.mu.Unlock()
+		return
+	}
+	head := view.Members[0]
+	p.mu.Unlock()
+
+	if primary {
+		g.Cast(message.New(append([]byte{pbUpdate}, req...)))
+		return
+	}
+	g.Send([]core.EndpointID{head}, message.New(append([]byte{pbRequest}, req...)))
+}
+
+// Handler returns the upcall handler to pass to Join.
+func (p *PrimaryBackup) Handler() core.Handler {
+	return func(ev *core.Event) {
+		switch ev.Type {
+		case core.UCast:
+			p.onCast(ev.Msg.Body())
+		case core.USend:
+			p.onSend(ev.Msg.Body())
+		case core.UView:
+			p.onView(ev.View)
+		}
+	}
+}
+
+func (p *PrimaryBackup) onCast(body []byte) {
+	if len(body) < 1 || body[0] != pbUpdate {
+		return
+	}
+	p.mu.Lock()
+	p.applied++
+	apply := p.apply
+	p.mu.Unlock()
+	apply(body[1:])
+}
+
+// onSend is the primary receiving a forwarded request.
+func (p *PrimaryBackup) onSend(body []byte) {
+	if len(body) < 1 || body[0] != pbRequest {
+		return
+	}
+	p.mu.Lock()
+	g := p.group
+	primary := p.isPrimaryLocked()
+	p.mu.Unlock()
+	if !primary || g == nil {
+		// Raced with a view change; the client's retry policy covers
+		// this (requests are at-most-once at this level).
+		return
+	}
+	g.Cast(message.New(append([]byte{pbUpdate}, body[1:]...)))
+}
+
+func (p *PrimaryBackup) onView(v *core.View) {
+	p.mu.Lock()
+	p.view = v
+	pending := p.pending
+	p.pending = nil
+	p.mu.Unlock()
+	for _, req := range pending {
+		p.Submit(req)
+	}
+}

@@ -1,0 +1,221 @@
+// Package tools builds the Isis-style toolkit the paper's introduction
+// motivates on top of Horus process groups: "these primitive functions
+// were used to support tools for locking and replicating data,
+// load-balancing, guaranteed execution, primary-backup fault-tolerance
+// ..." (§1). Each tool owns one group and expects a stack providing
+// the properties it names; the property package can synthesize one.
+package tools
+
+import (
+	"sync"
+
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// RSM is a replicated state machine: commands proposed by any member
+// are applied by every member in the same order. It requires a totally
+// ordered, virtually synchronous stack (P6 + P9, e.g.
+// TOTAL:MBRSHIP:FRAG:NAK:COM).
+//
+// Joiners are brought up to date by state transfer: when a view adds
+// members, the oldest member carried over from the previous view sends
+// them a snapshot; commands delivered before the snapshot arrives are
+// buffered and applied after Restore. Usage:
+//
+//	r := tools.NewRSM(apply, snapshot, restore)
+//	g, err := ep.Join(addr, spec, r.Handler())
+//	r.Bind(g)
+//	r.Propose([]byte("cmd"))
+type RSM struct {
+	mu       sync.Mutex
+	group    *core.Group
+	apply    func(cmd []byte)
+	snapshot func() []byte
+	restore  func(state []byte)
+
+	synced     bool
+	buffered   [][]byte
+	prev       *core.View
+	wasPrimary bool
+	applied    int
+}
+
+// Message kinds at the RSM level: casts are commands; subset sends
+// carry snapshots.
+const rsmSnapshot = 1
+
+// NewRSM creates a state machine. apply is required; snapshot and
+// restore may be nil when joiners never need catching up (snapshotless
+// groups treat every member as synced).
+//
+// With snapshots enabled, a member that *creates* the group must call
+// Bootstrap to declare its (empty) state authoritative; members that
+// join by merging wait for a state transfer instead. The two cases
+// cannot be told apart from below — every member begins in a singleton
+// view (§11: join is view merge).
+func NewRSM(apply func(cmd []byte), snapshot func() []byte, restore func(state []byte)) *RSM {
+	return &RSM{
+		apply:    apply,
+		snapshot: snapshot,
+		restore:  restore,
+		synced:   snapshot == nil,
+	}
+}
+
+// Bootstrap declares this member's current state authoritative: the
+// group creator calls it once instead of waiting for a state transfer.
+func (r *RSM) Bootstrap() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.synced = true
+	for _, cmd := range r.buffered {
+		r.applied++
+		r.apply(cmd)
+	}
+	r.buffered = nil
+}
+
+// Bind attaches the group handle after Join (the handler must exist
+// before the group does).
+func (r *RSM) Bind(g *core.Group) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.group = g
+}
+
+// Propose submits a command for replicated application.
+func (r *RSM) Propose(cmd []byte) {
+	r.mu.Lock()
+	g := r.group
+	r.mu.Unlock()
+	if g != nil {
+		g.Cast(message.New(append([]byte(nil), cmd...)))
+	}
+}
+
+// Applied reports how many commands this member has applied.
+func (r *RSM) Applied() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Synced reports whether this member has caught up with the group
+// state.
+func (r *RSM) Synced() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.synced
+}
+
+// Handler returns the upcall handler to pass to Join.
+func (r *RSM) Handler() core.Handler {
+	return func(ev *core.Event) {
+		switch ev.Type {
+		case core.UCast:
+			r.onCommand(ev.Msg.Body())
+		case core.USend:
+			r.onSnapshot(ev.Msg.Body())
+		case core.UView:
+			r.onView(ev.View, ev.Primary)
+		}
+	}
+}
+
+func (r *RSM) onCommand(cmd []byte) {
+	r.mu.Lock()
+	if !r.synced {
+		r.buffered = append(r.buffered, append([]byte(nil), cmd...))
+		r.mu.Unlock()
+		return
+	}
+	r.applied++
+	apply := r.apply
+	r.mu.Unlock()
+	apply(cmd)
+}
+
+func (r *RSM) onSnapshot(data []byte) {
+	if len(data) == 0 || data[0] != rsmSnapshot {
+		return
+	}
+	r.mu.Lock()
+	if r.synced {
+		r.mu.Unlock()
+		return
+	}
+	restore := r.restore
+	buffered := r.buffered
+	r.buffered = nil
+	r.synced = true
+	r.applied += len(buffered)
+	apply := r.apply
+	r.mu.Unlock()
+
+	if restore != nil {
+		restore(data[1:])
+	}
+	for _, cmd := range buffered {
+		apply(cmd)
+	}
+}
+
+// onView runs state transfer: the oldest surviving member of the
+// previous view snapshots for every newcomer.
+//
+// Under the primary-partition restriction (mbrship.WithPrimaryPartition)
+// a member sitting in a minority view marks itself stale: the primary
+// side may commit commands it cannot see, so when the partition heals
+// it must be treated like a newcomer and restored by state transfer.
+// Its own proposals were deferred by the membership layer while
+// non-primary and replay as fresh commands after the heal, so nothing
+// is lost and nothing diverges.
+func (r *RSM) onView(v *core.View, primary bool) {
+	r.mu.Lock()
+	// Leaving a primary view for a minority one means the primary side
+	// may commit history we cannot see: our state is stale until a
+	// transfer. (A member that has never been in a primary view risks
+	// nothing — minorities cannot commit — so joining through early
+	// non-primary views keeps whatever sync status it has.)
+	if r.wasPrimary && !primary && r.snapshot != nil {
+		r.synced = false
+	}
+	r.wasPrimary = primary
+	prev := r.prev
+	r.prev = v
+	g := r.group
+	synced := r.synced
+	snapshot := r.snapshot
+	self := core.EndpointID{}
+	if g != nil {
+		self = g.Endpoint().ID()
+	}
+	r.mu.Unlock()
+
+	if g == nil || snapshot == nil || !synced || prev == nil {
+		return
+	}
+	// Who transfers: the oldest member present in both views.
+	var sender core.EndpointID
+	for _, m := range v.Members {
+		if prev.Contains(m) && (sender.IsZero() || m.Older(sender)) {
+			sender = m
+		}
+	}
+	if sender != self {
+		return
+	}
+	var newcomers []core.EndpointID
+	for _, m := range v.Members {
+		if !prev.Contains(m) {
+			newcomers = append(newcomers, m)
+		}
+	}
+	if len(newcomers) == 0 {
+		return
+	}
+	state := snapshot()
+	msg := message.New(append([]byte{rsmSnapshot}, state...))
+	g.Send(newcomers, msg)
+}

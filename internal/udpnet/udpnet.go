@@ -1,0 +1,176 @@
+// Package udpnet is a real-network transport: endpoints exchange UDP
+// datagrams (loopback or LAN), demonstrating that the protocol stacks
+// are transport-agnostic — the same layers that run over the simulator
+// run over genuine sockets, with the kernel as the "best effort
+// delivery" (P1) provider. UDP gives exactly the paper's bottom-layer
+// model: messages may be delayed, lost, duplicated, or reordered, and
+// everything above repairs it.
+//
+// Peers are configured statically: every endpoint knows the UDP
+// address of every other (the paper's "resource location" concern is
+// handled out of band here). The wire format is
+//
+//	[group length][group][sender site length][site][birth][payload]
+//
+// and delivery runs on one reader goroutine per endpoint, feeding the
+// endpoint's event queue.
+package udpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"horus/internal/core"
+)
+
+// maxDatagram bounds received packets; stacks should fragment (FRAG)
+// below this.
+const maxDatagram = 64 * 1024
+
+// Transport is one endpoint's UDP attachment. It implements
+// core.Transport.
+type Transport struct {
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	self   core.EndpointID
+	peers  map[core.EndpointID]*net.UDPAddr
+	ep     *core.Endpoint
+	closed bool
+	start  time.Time
+}
+
+// Listen opens a UDP socket for an endpoint with the given identity.
+// Use addr ":0" for an ephemeral port; Addr reports the bound address.
+func Listen(addr string, self core.EndpointID) (*Transport, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: %w", err)
+	}
+	t := &Transport{
+		conn:  conn,
+		self:  self,
+		peers: make(map[core.EndpointID]*net.UDPAddr),
+		start: time.Now(),
+	}
+	return t, nil
+}
+
+// Addr returns the bound UDP address.
+func (t *Transport) Addr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddPeer registers another endpoint's address (including our own, if
+// self-delivery over the network is desired).
+func (t *Transport) AddPeer(id core.EndpointID, addr *net.UDPAddr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// NewEndpoint creates the core endpoint on this transport and starts
+// the reader goroutine. Call exactly once per transport.
+func (t *Transport) NewEndpoint() *core.Endpoint {
+	ep := core.NewEndpoint(t.self, t)
+	t.mu.Lock()
+	t.ep = ep
+	t.mu.Unlock()
+	go t.readLoop(ep)
+	return ep
+}
+
+// readLoop dispatches inbound datagrams to the endpoint.
+func (t *Transport) readLoop(ep *core.Endpoint) {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		group, payload, ok := decode(buf[:n])
+		if !ok {
+			continue
+		}
+		ep.Deliver(group, payload)
+	}
+}
+
+// Send implements core.Transport: one datagram per destination. Empty
+// dests broadcasts to every known peer.
+func (t *Transport) Send(from core.EndpointID, group core.GroupAddr, dests []core.EndpointID, wire []byte) {
+	pkt := encode(group, wire)
+	if len(pkt) > maxDatagram {
+		// Oversized: dropped like any best-effort network would; FRAG
+		// exists for this.
+		return
+	}
+	t.mu.Lock()
+	var addrs []*net.UDPAddr
+	if len(dests) == 0 {
+		for _, a := range t.peers {
+			addrs = append(addrs, a)
+		}
+	} else {
+		for _, d := range dests {
+			if a, ok := t.peers[d]; ok {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, a := range addrs {
+		// Best effort: errors are loss.
+		_, _ = t.conn.WriteToUDP(pkt, a)
+	}
+}
+
+// SetTimer implements core.Transport with wall-clock timers.
+func (t *Transport) SetTimer(d time.Duration, fn func()) (cancel func()) {
+	timer := time.AfterFunc(d, fn)
+	return func() { timer.Stop() }
+}
+
+// Now implements core.Transport.
+func (t *Transport) Now() time.Duration { return time.Since(t.start) }
+
+// Close shuts the socket; the reader goroutine exits.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	return t.conn.Close()
+}
+
+// encode frames a packet: group-length, group, payload.
+func encode(group core.GroupAddr, wire []byte) []byte {
+	g := []byte(group)
+	out := make([]byte, 2+len(g)+len(wire))
+	binary.BigEndian.PutUint16(out, uint16(len(g)))
+	copy(out[2:], g)
+	copy(out[2+len(g):], wire)
+	return out
+}
+
+// decode parses a framed packet.
+func decode(pkt []byte) (core.GroupAddr, []byte, bool) {
+	if len(pkt) < 2 {
+		return "", nil, false
+	}
+	gl := int(binary.BigEndian.Uint16(pkt))
+	if 2+gl > len(pkt) {
+		return "", nil, false
+	}
+	group := core.GroupAddr(pkt[2 : 2+gl])
+	payload := make([]byte, len(pkt)-2-gl)
+	copy(payload, pkt[2+gl:])
+	return group, payload, true
+}

@@ -1,0 +1,211 @@
+package udpnet_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/layers/com"
+	"horus/internal/layers/frag"
+	"horus/internal/layers/mbrship"
+	"horus/internal/layers/nak"
+	"horus/internal/message"
+	"horus/internal/udpnet"
+)
+
+func stack() core.StackSpec {
+	return core.StackSpec{
+		mbrship.NewWith(
+			mbrship.WithGossipPeriod(20*time.Millisecond),
+			mbrship.WithFlushTimeout(300*time.Millisecond),
+		),
+		frag.NewWithSize(1024),
+		nak.NewWith(
+			nak.WithStatusPeriod(10*time.Millisecond),
+			nak.WithSuspectAfter(10),
+		),
+		com.New,
+	}
+}
+
+type member struct {
+	mu    sync.Mutex
+	casts []string
+	view  *core.View
+}
+
+func (m *member) handler() core.Handler {
+	return func(ev *core.Event) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		switch ev.Type {
+		case core.UCast:
+			m.casts = append(m.casts, string(ev.Msg.Body()))
+		case core.UView:
+			m.view = ev.View
+		}
+	}
+}
+
+func (m *member) viewSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.view == nil {
+		return 0
+	}
+	return m.view.Size()
+}
+
+func (m *member) castCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.casts)
+}
+
+// TestRealUDPGroup runs the full membership stack over genuine UDP
+// loopback sockets: the same layers, real packets, the kernel as P1.
+func TestRealUDPGroup(t *testing.T) {
+	ids := []core.EndpointID{
+		{Site: "a", Birth: 1},
+		{Site: "b", Birth: 2},
+		{Site: "c", Birth: 3},
+	}
+	transports := make([]*udpnet.Transport, len(ids))
+	for i, id := range ids {
+		tr, err := udpnet.Listen("127.0.0.1:0", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		transports[i] = tr
+	}
+	// Full static peer mesh, including self (loopback self-delivery).
+	for _, ti := range transports {
+		for j, tj := range transports {
+			ti.AddPeer(ids[j], tj.Addr())
+		}
+	}
+
+	members := make([]*member, len(ids))
+	groups := make([]*core.Group, len(ids))
+	for i, tr := range transports {
+		members[i] = &member{}
+		ep := tr.NewEndpoint()
+		g, err := ep.Join("udp-grp", stack(), members[i].handler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = g
+	}
+
+	// Merge everyone into a's view, retrying until formed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		formed := true
+		for i := 1; i < len(groups); i++ {
+			if members[i].viewSize() < len(ids) {
+				formed = false
+				groups[i].Merge(ids[0])
+			}
+		}
+		if formed && members[0].viewSize() == len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("UDP group formation timed out: sizes %d/%d/%d",
+				members[0].viewSize(), members[1].viewSize(), members[2].viewSize())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Multicast over the wire; everyone (sender included) delivers.
+	for i, g := range groups {
+		g.Cast(message.New([]byte(fmt.Sprintf("udp-%d", i))))
+	}
+	for {
+		done := true
+		for _, m := range members {
+			if m.castCount() < len(ids) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("UDP deliveries timed out: %d/%d/%d",
+				members[0].castCount(), members[1].castCount(), members[2].castCount())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// FIFO per sender still holds over the real network.
+	for i, m := range members {
+		m.mu.Lock()
+		seen := map[string]bool{}
+		for _, p := range m.casts {
+			if seen[p] {
+				t.Errorf("member %d: duplicate %q", i, p)
+			}
+			seen[p] = true
+		}
+		m.mu.Unlock()
+	}
+}
+
+// TestUDPLargeMessage pushes a message bigger than a datagram through
+// FRAG over UDP.
+func TestUDPLargeMessage(t *testing.T) {
+	ids := []core.EndpointID{{Site: "a", Birth: 1}, {Site: "b", Birth: 2}}
+	ta, err := udpnet.Listen("127.0.0.1:0", ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	tb, err := udpnet.Listen("127.0.0.1:0", ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	for _, tr := range []*udpnet.Transport{ta, tb} {
+		tr.AddPeer(ids[0], ta.Addr())
+		tr.AddPeer(ids[1], tb.Addr())
+	}
+	ma, mb := &member{}, &member{}
+	ga, err := ta.NewEndpoint().Join("big", stack(), ma.handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := tb.NewEndpoint().Join("big", stack(), mb.handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for mb.viewSize() < 2 {
+		gb.Merge(ids[0])
+		if time.Now().After(deadline) {
+			t.Fatal("formation timeout")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	big := make([]byte, 200_000) // ~200 fragments
+	for i := range big {
+		big[i] = byte(i * 131)
+	}
+	ga.Cast(message.New(big))
+	for mb.castCount() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("large message timeout")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mb.mu.Lock()
+	got := mb.casts[0]
+	mb.mu.Unlock()
+	if len(got) != len(big) || got != string(big) {
+		t.Fatalf("large message corrupted: len %d vs %d", len(got), len(big))
+	}
+}

@@ -1,0 +1,87 @@
+// Package wire provides header encodings shared by protocol layers:
+// endpoint identifiers, identifier lists, views, and count vectors.
+// Each Push function has a matching Pop; layers compose them LIFO on
+// the message header stack.
+package wire
+
+import (
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// PushEndpointID pushes id onto m's header stack.
+func PushEndpointID(m *message.Message, id core.EndpointID) {
+	m.PushString(id.Site)
+	m.PushUint64(id.Birth)
+}
+
+// PopEndpointID pops an identifier pushed by PushEndpointID.
+func PopEndpointID(m *message.Message) core.EndpointID {
+	birth := m.PopUint64()
+	site := m.PopString()
+	return core.EndpointID{Site: site, Birth: birth}
+}
+
+// PushIDList pushes a list of endpoint identifiers.
+func PushIDList(m *message.Message, ids []core.EndpointID) {
+	for i := len(ids) - 1; i >= 0; i-- {
+		PushEndpointID(m, ids[i])
+	}
+	m.PushUint32(uint32(len(ids)))
+}
+
+// PopIDList pops a list pushed by PushIDList.
+func PopIDList(m *message.Message) []core.EndpointID {
+	n := int(m.PopUint32())
+	ids := make([]core.EndpointID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = PopEndpointID(m)
+	}
+	return ids
+}
+
+// PushViewID pushes a view identifier.
+func PushViewID(m *message.Message, id core.ViewID) {
+	PushEndpointID(m, id.Coord)
+	m.PushUint64(id.Seq)
+}
+
+// PopViewID pops a view identifier pushed by PushViewID.
+func PopViewID(m *message.Message) core.ViewID {
+	seq := m.PopUint64()
+	coord := PopEndpointID(m)
+	return core.ViewID{Seq: seq, Coord: coord}
+}
+
+// PushView pushes a complete view (identifier, group, members).
+func PushView(m *message.Message, v *core.View) {
+	PushIDList(m, v.Members)
+	m.PushString(string(v.Group))
+	PushViewID(m, v.ID)
+}
+
+// PopView pops a view pushed by PushView.
+func PopView(m *message.Message) *core.View {
+	id := PopViewID(m)
+	group := core.GroupAddr(m.PopString())
+	members := PopIDList(m)
+	return &core.View{ID: id, Group: group, Members: members}
+}
+
+// PushCounts pushes a vector of counters.
+func PushCounts(m *message.Message, counts []uint64) {
+	for i := len(counts) - 1; i >= 0; i-- {
+		m.PushUint64(counts[i])
+	}
+	m.PushUint32(uint32(len(counts)))
+}
+
+// PopCounts pops a vector pushed by PushCounts.
+func PopCounts(m *message.Message) []uint64 {
+	n := int(m.PopUint32())
+	counts := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		counts[i] = m.PopUint64()
+	}
+	return counts
+}

@@ -1,0 +1,114 @@
+package wire_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"horus/internal/core"
+	"horus/internal/message"
+	"horus/internal/wire"
+)
+
+func TestEndpointIDRoundTrip(t *testing.T) {
+	m := message.New(nil)
+	id := core.EndpointID{Site: "host-7", Birth: 42}
+	wire.PushEndpointID(m, id)
+	if got := wire.PopEndpointID(m); got != id {
+		t.Fatalf("got %v, want %v", got, id)
+	}
+}
+
+func TestIDListRoundTrip(t *testing.T) {
+	ids := []core.EndpointID{
+		{Site: "a", Birth: 1},
+		{Site: "b", Birth: 2},
+		{Site: "c", Birth: 3},
+	}
+	m := message.New(nil)
+	wire.PushIDList(m, ids)
+	got := wire.PopIDList(m)
+	if len(got) != len(ids) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("element %d: %v != %v (order must be preserved)", i, got[i], ids[i])
+		}
+	}
+}
+
+func TestEmptyIDList(t *testing.T) {
+	m := message.New(nil)
+	wire.PushIDList(m, nil)
+	if got := wire.PopIDList(m); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestViewRoundTrip(t *testing.T) {
+	a := core.EndpointID{Site: "a", Birth: 1}
+	b := core.EndpointID{Site: "b", Birth: 2}
+	v := core.NewView(core.ViewID{Seq: 9, Coord: a}, "grp", []core.EndpointID{a, b})
+	m := message.New(nil)
+	wire.PushView(m, v)
+	got := wire.PopView(m)
+	if got.ID != v.ID || got.Group != v.Group || got.Size() != 2 {
+		t.Fatalf("got %v, want %v", got, v)
+	}
+	for i := range v.Members {
+		if got.Members[i] != v.Members[i] {
+			t.Fatalf("member %d mismatch", i)
+		}
+	}
+}
+
+func TestQuickCountsRoundTrip(t *testing.T) {
+	f := func(counts []uint64) bool {
+		m := message.New(nil)
+		wire.PushCounts(m, counts)
+		got := wire.PopCounts(m)
+		if len(got) != len(counts) {
+			return false
+		}
+		for i := range counts {
+			if got[i] != counts[i] {
+				return false
+			}
+		}
+		return m.HeaderLen() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIDRoundTrip(t *testing.T) {
+	f := func(site string, birth uint64) bool {
+		m := message.New(nil)
+		id := core.EndpointID{Site: site, Birth: birth}
+		wire.PushEndpointID(m, id)
+		return wire.PopEndpointID(m) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackedEncodingsPopInReverse(t *testing.T) {
+	// Layers push multiple structures; they must pop cleanly in
+	// reverse, leaving lower layers' headers untouched.
+	m := message.New([]byte("body"))
+	m.PushUint32(0xDEAD) // a lower layer's header
+	a := core.EndpointID{Site: "a", Birth: 1}
+	wire.PushIDList(m, []core.EndpointID{a})
+	wire.PushViewID(m, core.ViewID{Seq: 3, Coord: a})
+	if got := wire.PopViewID(m); got.Seq != 3 {
+		t.Fatal("view id mismatch")
+	}
+	if got := wire.PopIDList(m); len(got) != 1 || got[0] != a {
+		t.Fatal("id list mismatch")
+	}
+	if got := m.PopUint32(); got != 0xDEAD {
+		t.Fatal("lower header disturbed")
+	}
+}
