@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/netsim"
+)
+
+func id(site string, birth uint64) core.EndpointID {
+	return core.EndpointID{Site: site, Birth: birth}
+}
+
+func view(seq uint64, coord core.EndpointID, members ...core.EndpointID) *core.View {
+	return core.NewView(core.ViewID{Seq: seq, Coord: coord}, "chaos", members)
+}
+
+func TestRampLossEndsCleared(t *testing.T) {
+	s := RampLoss(0, 100*time.Millisecond, 0, 1, netsim.Link{}, 0.8, 4)
+	if len(s) != 5 {
+		t.Fatalf("ramp has %d actions, want 4 steps + clear", len(s))
+	}
+	last := s.Sorted()[len(s)-1]
+	if last.Kind != KindClearLink {
+		t.Fatalf("ramp ends with %v, want clear-link", last.Kind)
+	}
+	// Loss increases monotonically to the peak.
+	var prev float64
+	for _, a := range s.Sorted()[:4] {
+		if a.Link.LossRate <= prev {
+			t.Fatalf("ramp not monotone: %v after %v", a.Link.LossRate, prev)
+		}
+		prev = a.Link.LossRate
+	}
+	if prev != 0.8 {
+		t.Fatalf("ramp peak %v, want 0.8", prev)
+	}
+}
+
+func TestFlapAlternates(t *testing.T) {
+	s := Flap(0, 50*time.Millisecond, 50*time.Millisecond, 0, 2, 3).Sorted()
+	if len(s) != 6 {
+		t.Fatalf("flap has %d actions, want 6", len(s))
+	}
+	for i, a := range s {
+		want := KindSetLink
+		if i%2 == 1 {
+			want = KindClearLink
+		}
+		if a.Kind != want {
+			t.Fatalf("action %d is %v, want %v", i, a.Kind, want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Members: 4, Horizon: 5 * time.Second, Incidents: 8}
+	a, b := Generate(99, cfg), Generate(99, cfg)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if c := Generate(100, cfg); c.String() == a.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateSelfCleaning: every crash is recovered, partitions are
+// balanced by heals, slot 0 never crashes, and the schedule ends with
+// the safety tail.
+func TestGenerateSelfCleaning(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		s := Generate(seed, GenConfig{Members: 5, Horizon: 6 * time.Second, Incidents: 10})
+		down := map[int]bool{}
+		partitions, heals := 0, 0
+		for _, a := range s.Sorted() {
+			switch a.Kind {
+			case KindCrash:
+				if a.A == 0 {
+					t.Fatalf("seed %d: generator crashed slot 0", seed)
+				}
+				if down[a.A] {
+					t.Fatalf("seed %d: slot %d crashed while down", seed, a.A)
+				}
+				down[a.A] = true
+			case KindRecover:
+				if !down[a.A] {
+					t.Fatalf("seed %d: slot %d recovered while up", seed, a.A)
+				}
+				delete(down, a.A)
+			case KindPartition:
+				partitions++
+				if len(a.Sides[0]) == 0 || len(a.Sides[1]) == 0 {
+					t.Fatalf("seed %d: degenerate partition %v", seed, a.Sides)
+				}
+			case KindHeal:
+				heals++
+			}
+		}
+		if len(down) != 0 {
+			t.Fatalf("seed %d: schedule leaves slots %v crashed", seed, down)
+		}
+		if heals <= partitions-1 {
+			t.Fatalf("seed %d: %d partitions but only %d heals", seed, partitions, heals)
+		}
+		last := s.Sorted()[len(s)-1]
+		if last.Kind != KindClearLink && last.Kind != KindHeal {
+			t.Fatalf("seed %d: schedule ends with %v, want the safety tail", seed, last.Kind)
+		}
+	}
+}
+
+func TestCheckSelfInclusionCatchesExclusion(t *testing.T) {
+	me, other := id("a", 1), id("b", 1)
+	h := &History{Slot: 0, ID: me, Views: []*core.View{view(2, other, other)}}
+	if errs := CheckSelfInclusion([]*History{h}); len(errs) != 1 {
+		t.Fatalf("got %v, want 1 violation", errs)
+	}
+}
+
+func TestCheckMonotoneCatchesRegression(t *testing.T) {
+	me := id("a", 1)
+	h := &History{ID: me, Views: []*core.View{view(3, me, me), view(2, me, me)}}
+	if errs := CheckMonotoneViews([]*History{h}); len(errs) != 1 {
+		t.Fatalf("got %v, want 1 violation", errs)
+	}
+}
+
+func TestCheckViewConsistencyCatchesSplitBrainViews(t *testing.T) {
+	a, b := id("a", 1), id("b", 1)
+	v := core.ViewID{Seq: 2, Coord: a}
+	ha := &History{Slot: 0, ID: a, Views: []*core.View{core.NewView(v, "g", []core.EndpointID{a, b})}}
+	hb := &History{Slot: 1, ID: b, Views: []*core.View{core.NewView(v, "g", []core.EndpointID{b})}}
+	if errs := CheckViewConsistency([]*History{ha, hb}); len(errs) != 1 {
+		t.Fatalf("got %v, want 1 violation", errs)
+	}
+}
+
+func TestCheckNoDuplicatesCatchesRedelivery(t *testing.T) {
+	v := core.ViewID{Seq: 1, Coord: id("a", 1)}
+	h := &History{ID: id("a", 1), Deliveries: []Delivery{
+		{View: v, Payload: "s1.0-1"}, {View: v, Payload: "s1.0-1"},
+	}}
+	if errs := CheckNoDuplicates([]*History{h}); len(errs) != 1 {
+		t.Fatalf("got %v, want 1 violation", errs)
+	}
+}
+
+func TestCheckFIFO(t *testing.T) {
+	v1 := core.ViewID{Seq: 1, Coord: id("a", 1)}
+	v2 := core.ViewID{Seq: 2, Coord: id("a", 1)}
+	// Reorder within a view: violation. Gap within a view: violation.
+	// Gap across a view boundary: legal.
+	bad := &History{ID: id("a", 1), Deliveries: []Delivery{
+		{View: v1, Payload: "s1.0-2"}, {View: v1, Payload: "s1.0-1"},
+	}}
+	if errs := CheckFIFO([]*History{bad}); len(errs) != 1 {
+		t.Fatalf("reorder: got %v, want 1 violation", errs)
+	}
+	gap := &History{ID: id("a", 1), Deliveries: []Delivery{
+		{View: v1, Payload: "s1.0-1"}, {View: v1, Payload: "s1.0-3"},
+	}}
+	if errs := CheckFIFO([]*History{gap}); len(errs) != 1 {
+		t.Fatalf("in-view gap: got %v, want 1 violation", errs)
+	}
+	ok := &History{ID: id("a", 1), Deliveries: []Delivery{
+		{View: v1, Payload: "s1.0-1"}, {View: v2, Payload: "s1.0-3"},
+	}}
+	if errs := CheckFIFO([]*History{ok}); len(errs) != 0 {
+		t.Fatalf("cross-view gap flagged: %v", errs)
+	}
+}
+
+func TestCheckViewAgreement(t *testing.T) {
+	a, b := id("a", 1), id("b", 1)
+	v1 := view(1, a, a, b)
+	v2 := view(2, a, a, b)
+	mk := func(deliv string) *History {
+		h := &History{ID: a, Views: []*core.View{v1, v2}}
+		if deliv != "" {
+			h.Deliveries = append(h.Deliveries, Delivery{View: v1.ID, Payload: deliv})
+		}
+		return h
+	}
+	agree := []*History{mk("s0.0-1"), mk("s0.0-1")}
+	if errs := CheckViewAgreement(agree); len(errs) != 0 {
+		t.Fatalf("agreeing histories flagged: %v", errs)
+	}
+	disagree := []*History{mk("s0.0-1"), mk("")}
+	if errs := CheckViewAgreement(disagree); len(errs) != 1 {
+		t.Fatalf("got %v, want 1 violation", errs)
+	}
+	// Open (final) views are never checked: drop v2 so v1 is open.
+	open := []*History{
+		{ID: a, Views: []*core.View{v1}, Deliveries: []Delivery{{View: v1.ID, Payload: "x-1"}}},
+		{ID: b, Views: []*core.View{v1}},
+	}
+	if errs := CheckViewAgreement(open); len(errs) != 0 {
+		t.Fatalf("open view checked: %v", errs)
+	}
+}
+
+// TestClusterCrashRecoverSmoke is the end-to-end smoke: form a
+// cluster, crash a member, recover it, and demand re-convergence with
+// all invariants intact. The full multi-seed soak lives in
+// internal/integration.
+func TestClusterCrashRecoverSmoke(t *testing.T) {
+	c := NewCluster(Config{Seed: 7, Members: 3,
+		Link: netsim.Link{Delay: time.Millisecond, Jitter: time.Millisecond}})
+	if err := c.Form(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Apply(Schedule{
+		{At: 100 * time.Millisecond, Kind: KindCrash, A: 2},
+		{At: 900 * time.Millisecond, Kind: KindRecover, A: 2},
+	})
+	c.Run(1200 * time.Millisecond)
+	if err := c.Settle(8 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if errs := c.Check(); len(errs) != 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+	}
+	if len(c.Histories) != 4 {
+		t.Fatalf("expected 4 incarnations (3 boots + 1 recover), got %d", len(c.Histories))
+	}
+}

@@ -1,0 +1,325 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/layers/com"
+	"horus/internal/layers/hbeat"
+	"horus/internal/layers/mbrship"
+	"horus/internal/layers/nak"
+	"horus/internal/message"
+	"horus/internal/netsim"
+)
+
+// Config parameterizes a chaos cluster.
+type Config struct {
+	Seed    int64
+	Members int
+
+	// Link is the default (healthy) link; zero means a perfect network,
+	// which hides nothing, so callers usually want some delay + loss.
+	Link netsim.Link
+
+	// CastEvery is the workload period: every live member casts one
+	// payload per period. Zero means 70ms.
+	CastEvery time.Duration
+
+	// ReconcileEvery is how often stragglers are re-merged toward the
+	// anchor. Zero means 250ms.
+	ReconcileEvery time.Duration
+
+	// Stack overrides the default MBRSHIP:HBEAT:NAK:COM stack. Each
+	// call must return a fresh spec.
+	Stack func() core.StackSpec
+}
+
+// DefaultStack is the chaos stack: membership over the heartbeat
+// failure detector over reliable FIFO. NAK's own silence-based
+// suspicion is disabled (WithSuspectAfter(0)) so every failure the
+// cluster survives was detected by HBEAT — no manual PROBLEM
+// injection, no second detector to hide behind.
+func DefaultStack() core.StackSpec {
+	return core.StackSpec{
+		mbrship.NewWith(
+			mbrship.WithGossipPeriod(40*time.Millisecond),
+			mbrship.WithFlushTimeout(400*time.Millisecond),
+		),
+		hbeat.NewWith(
+			hbeat.WithPeriod(30*time.Millisecond),
+			hbeat.WithMinTimeout(90*time.Millisecond),
+			hbeat.WithMaxTimeout(250*time.Millisecond),
+		),
+		nak.NewWith(
+			nak.WithStatusPeriod(20*time.Millisecond),
+			nak.WithNakResend(15*time.Millisecond),
+			nak.WithSuspectAfter(0),
+		),
+		com.New,
+	}
+}
+
+// member is one slot's current incarnation.
+type member struct {
+	slot int
+	inc  int
+	ep   *core.Endpoint
+	g    *core.Group
+	hist *History
+	seq  int  // workload sequence, per incarnation
+	down bool // crashed, awaiting recover
+}
+
+// Cluster drives a group of members over a seeded simulation, applies
+// fault schedules, runs a cast workload, and keeps trying to re-merge
+// whatever the faults split apart.
+type Cluster struct {
+	Net *netsim.Network
+	cfg Config
+
+	members   []*member  // by slot; current incarnation
+	Histories []*History // every incarnation that ever lived, in boot order
+}
+
+// NewCluster builds the simulation and boots one endpoint per slot.
+// Call Form to merge them into a single view.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Members < 2 {
+		panic("chaos: need at least 2 members")
+	}
+	if cfg.CastEvery == 0 {
+		cfg.CastEvery = 70 * time.Millisecond
+	}
+	if cfg.ReconcileEvery == 0 {
+		cfg.ReconcileEvery = 250 * time.Millisecond
+	}
+	if cfg.Stack == nil {
+		cfg.Stack = DefaultStack
+	}
+	c := &Cluster{
+		Net: netsim.New(netsim.Config{Seed: cfg.Seed, DefaultLink: cfg.Link}),
+		cfg: cfg,
+	}
+	c.members = make([]*member, cfg.Members)
+	for slot := 0; slot < cfg.Members; slot++ {
+		c.boot(slot, 0)
+	}
+	return c
+}
+
+// boot creates incarnation inc of the given slot and joins the group.
+func (c *Cluster) boot(slot, inc int) {
+	site := fmt.Sprintf("s%d", slot)
+	ep := c.Net.NewEndpoint(site)
+	h := &History{Slot: slot, Inc: inc, ID: ep.ID()}
+	m := &member{slot: slot, inc: inc, ep: ep, hist: h}
+	g, err := ep.Join("chaos", c.cfg.Stack(), h.handler())
+	if err != nil {
+		panic(fmt.Sprintf("chaos: boot s%d.%d: %v", slot, inc, err))
+	}
+	m.g = g
+	c.members[slot] = m
+	c.Histories = append(c.Histories, h)
+}
+
+// id returns the current incarnation's endpoint ID for a slot.
+func (c *Cluster) id(slot int) core.EndpointID { return c.members[slot].ep.ID() }
+
+// Form merges all members into one full view and returns an error if
+// they fail to converge within the deadline. It also starts the
+// workload and the reconciler, which run until the simulation stops.
+func (c *Cluster) Form(deadline time.Duration) error {
+	c.startReconciler()
+	c.startWorkload()
+	stop := c.Net.Now() + deadline
+	for c.Net.Now() < stop {
+		c.Net.RunFor(100 * time.Millisecond)
+		if c.converged() {
+			return nil
+		}
+	}
+	return fmt.Errorf("chaos: cluster did not form a full view within %v", deadline)
+}
+
+// startWorkload arms the recurring cast loop: each tick, every live
+// member casts one tagged payload "s<slot>.<inc>-<seq>".
+func (c *Cluster) startWorkload() {
+	var tick func()
+	tick = func() {
+		for _, m := range c.members {
+			if m.down {
+				continue
+			}
+			m.seq++
+			payload := fmt.Sprintf("s%d.%d-%d", m.slot, m.inc, m.seq)
+			m.g.Cast(message.New([]byte(payload)))
+		}
+		c.Net.At(c.Net.Now()+c.cfg.CastEvery, tick)
+	}
+	c.Net.At(c.Net.Now()+c.cfg.CastEvery, tick)
+}
+
+// startReconciler arms the recurring merge loop. Faults tear views
+// apart; the reconciler points every live member that has lost sight
+// of the anchor (the lowest live slot) back at it. Merges denied or
+// lost are simply retried next round.
+func (c *Cluster) startReconciler() {
+	var tick func()
+	tick = func() {
+		anchor := c.anchor()
+		if anchor != nil {
+			for _, m := range c.members {
+				if m.down || m == anchor {
+					continue
+				}
+				v := m.g.View()
+				if v == nil || !v.Contains(anchor.ep.ID()) {
+					m.g.Merge(anchor.ep.ID())
+				}
+			}
+		}
+		c.Net.At(c.Net.Now()+c.cfg.ReconcileEvery, tick)
+	}
+	c.Net.At(c.Net.Now()+c.cfg.ReconcileEvery, tick)
+}
+
+// anchor returns the live member with the lowest slot, or nil.
+func (c *Cluster) anchor() *member {
+	for _, m := range c.members {
+		if !m.down {
+			return m
+		}
+	}
+	return nil
+}
+
+// converged reports whether every live member's current view contains
+// exactly the live incarnations.
+func (c *Cluster) converged() bool {
+	want := map[core.EndpointID]bool{}
+	live := 0
+	for _, m := range c.members {
+		if !m.down {
+			want[m.ep.ID()] = true
+			live++
+		}
+	}
+	for _, m := range c.members {
+		if m.down {
+			continue
+		}
+		v := m.g.View()
+		if v == nil || v.Size() != live {
+			return false
+		}
+		for _, id := range v.Members {
+			if !want[id] {
+				return false
+			}
+		}
+	}
+	return live > 0
+}
+
+// Apply schedules every action of s, offset from the current virtual
+// time. Slots are resolved to incarnations at fire time.
+func (c *Cluster) Apply(s Schedule) {
+	base := c.Net.Now()
+	for _, a := range s.Sorted() {
+		a := a
+		c.Net.At(base+a.At, func() { c.apply(a) })
+	}
+}
+
+func (c *Cluster) apply(a Action) {
+	switch a.Kind {
+	case KindSetLink:
+		c.Net.SetLink(c.id(a.A), c.id(a.B), a.Link)
+	case KindSetLinkDirected:
+		c.Net.SetLinkDirected(c.id(a.A), c.id(a.B), a.Link)
+	case KindClearLink:
+		c.Net.ClearLink(c.id(a.A), c.id(a.B))
+	case KindCrash:
+		m := c.members[a.A]
+		if m.down {
+			return
+		}
+		m.down = true
+		m.hist.Crashed = true
+		c.Net.Crash(m.ep.ID())
+	case KindRecover:
+		m := c.members[a.A]
+		if !m.down {
+			return
+		}
+		// A recovered process is a new incarnation: the old endpoint is
+		// detached (its links and fan-out entries die with it) and a
+		// fresh one boots at the same site. The reconciler merges it
+		// back into the group.
+		c.Net.Detach(m.ep.ID())
+		c.boot(a.A, m.inc+1)
+	case KindPartition:
+		var sides [2][]core.EndpointID
+		for i, slots := range a.Sides {
+			for _, s := range slots {
+				sides[i] = append(sides[i], c.id(s))
+			}
+		}
+		c.Net.Partition(sides[0], sides[1])
+	case KindHeal:
+		c.Net.Heal()
+	}
+}
+
+// Run advances the simulation.
+func (c *Cluster) Run(d time.Duration) { c.Net.RunFor(d) }
+
+// Settle runs until the cluster has converged on a full live view, in
+// slices of `step`, failing after `deadline`.
+func (c *Cluster) Settle(deadline time.Duration) error {
+	stop := c.Net.Now() + deadline
+	for c.Net.Now() < stop {
+		c.Net.RunFor(100 * time.Millisecond)
+		if c.converged() {
+			return nil
+		}
+	}
+	var views []string
+	for _, m := range c.members {
+		views = append(views, fmt.Sprintf("s%d.%d:%v", m.slot, m.inc, m.g.View()))
+	}
+	return fmt.Errorf("chaos: cluster did not re-converge within %v:\n  %s",
+		deadline, strings.Join(views, "\n  "))
+}
+
+// Check runs every invariant checker over the full history set.
+func (c *Cluster) Check() []error { return CheckAll(c.Histories) }
+
+// Digest returns a stable fingerprint of everything every incarnation
+// observed — view chains and delivery streams — for determinism
+// assertions: two runs of the same seed must produce equal digests.
+func (c *Cluster) Digest() string {
+	hs := append([]*History(nil), c.Histories...)
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Slot != hs[j].Slot {
+			return hs[i].Slot < hs[j].Slot
+		}
+		return hs[i].Inc < hs[j].Inc
+	})
+	var b strings.Builder
+	for _, h := range hs {
+		fmt.Fprintf(&b, "s%d.%d views=[", h.Slot, h.Inc)
+		for _, v := range h.Views {
+			fmt.Fprintf(&b, " %d@%s/%d", v.ID.Seq, v.ID.Coord.Site, v.Size())
+		}
+		b.WriteString(" ] casts=[")
+		for _, d := range h.Deliveries {
+			fmt.Fprintf(&b, " %d:%s", d.View.Seq, d.Payload)
+		}
+		b.WriteString(" ]\n")
+	}
+	return b.String()
+}

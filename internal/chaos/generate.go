@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"horus/internal/netsim"
+)
+
+// GenConfig bounds the random schedule generator.
+type GenConfig struct {
+	Members   int           // cluster size (slots 0..Members-1)
+	Horizon   time.Duration // all incidents start and finish inside [0, Horizon)
+	Incidents int           // how many incidents to attempt to place
+}
+
+// Generate builds a random fault schedule from a seed. The same
+// (seed, cfg) always yields the same schedule, so a failing soak seed
+// reproduces exactly.
+//
+// Incidents are self-cleaning — every ramp ends cleared, every crash
+// is recovered, every partition healed — and the generator keeps the
+// chaos survivable: slot 0 is never crashed (it anchors re-merges),
+// at most one member is down at a time, and at most one partition is
+// in force at a time (netsim partitions are global, so overlapping
+// ones would heal each other early).
+func Generate(seed int64, cfg GenConfig) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var s Schedule
+
+	// dur picks a duration uniformly in [lo, hi).
+	dur := func(lo, hi time.Duration) time.Duration {
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+	pair := func() (int, int) {
+		a := rng.Intn(cfg.Members)
+		b := rng.Intn(cfg.Members - 1)
+		if b >= a {
+			b++
+		}
+		return a, b
+	}
+
+	var crashBusyUntil, partBusyUntil time.Duration
+	for i := 0; i < cfg.Incidents; i++ {
+		start := time.Duration(rng.Int63n(int64(cfg.Horizon * 3 / 4)))
+		switch rng.Intn(5) {
+		case 0: // loss ramp on a symmetric link
+			a, b := pair()
+			steps := 3 + rng.Intn(3)
+			step := dur(80*time.Millisecond, 200*time.Millisecond)
+			peak := 0.4 + rng.Float64()*0.5
+			base := netsim.Link{Delay: time.Millisecond, Jitter: 2 * time.Millisecond}
+			s = append(s, RampLoss(start, step, a, b, base, peak, steps)...)
+		case 1: // asymmetric loss one way
+			a, b := pair()
+			l := netsim.Link{Delay: time.Millisecond, LossRate: 0.6 + rng.Float64()*0.4}
+			hold := dur(200*time.Millisecond, 700*time.Millisecond)
+			s = append(s,
+				Action{At: start, Kind: KindSetLinkDirected, A: a, B: b, Link: l,
+					Note: "asym"},
+				Action{At: start + hold, Kind: KindClearLink, A: a, B: b,
+					Note: "asym end"})
+		case 2: // flapping link
+			a, b := pair()
+			cycles := 2 + rng.Intn(3)
+			s = append(s, Flap(start,
+				dur(60*time.Millisecond, 180*time.Millisecond),
+				dur(60*time.Millisecond, 180*time.Millisecond),
+				a, b, cycles)...)
+		case 3: // crash + recover (never slot 0; one at a time)
+			if start < crashBusyUntil {
+				continue
+			}
+			a := 1 + rng.Intn(cfg.Members-1)
+			hold := dur(500*time.Millisecond, 1200*time.Millisecond)
+			s = append(s, CrashRecover(start, hold, a)...)
+			crashBusyUntil = start + hold + 300*time.Millisecond
+		case 4: // partition + heal (one at a time)
+			if start < partBusyUntil {
+				continue
+			}
+			var sides [2][]int
+			for m := 0; m < cfg.Members; m++ {
+				side := rng.Intn(2)
+				sides[side] = append(sides[side], m)
+			}
+			if len(sides[0]) == 0 || len(sides[1]) == 0 {
+				continue // degenerate split; skip the incident
+			}
+			hold := dur(500*time.Millisecond, 1100*time.Millisecond)
+			s = append(s,
+				Action{At: start, Kind: KindPartition, Sides: sides,
+					Note: fmt.Sprintf("rand split %v|%v", sides[0], sides[1])},
+				Action{At: start + hold, Kind: KindHeal, Note: "rand heal"})
+			partBusyUntil = start + hold + 300*time.Millisecond
+		}
+	}
+
+	// Safety tail: whatever state the incidents left behind, end with a
+	// global heal and cleared links so the cluster can converge.
+	end := s.End() + 50*time.Millisecond
+	if end < cfg.Horizon {
+		end = cfg.Horizon
+	}
+	s = append(s, Action{At: end, Kind: KindHeal, Note: "tail heal"})
+	for a := 0; a < cfg.Members; a++ {
+		for b := a + 1; b < cfg.Members; b++ {
+			s = append(s, Action{At: end, Kind: KindClearLink, A: a, B: b, Note: "tail clear"})
+		}
+	}
+	return s.Sorted()
+}

@@ -1,0 +1,282 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"horus/internal/core"
+)
+
+// History is everything one incarnation of a member observed: its view
+// chain and its delivery stream, each delivery tagged with the full
+// ViewID it arrived in. Concurrent partitioned views can share a
+// sequence number, so views are always keyed by the full ID
+// (Seq, Coord), never Seq alone.
+type History struct {
+	Slot, Inc int
+	ID        core.EndpointID
+
+	Views      []*core.View
+	Deliveries []Delivery
+	Crashed    bool // this incarnation was crashed by the schedule
+}
+
+// Delivery is one cast delivered to the application.
+type Delivery struct {
+	View    core.ViewID
+	Payload string
+}
+
+func (h *History) name() string { return fmt.Sprintf("s%d.%d", h.Slot, h.Inc) }
+
+// handler returns the group handler that records this history.
+func (h *History) handler() core.Handler {
+	var cur core.ViewID
+	return func(ev *core.Event) {
+		switch ev.Type {
+		case core.UView:
+			h.Views = append(h.Views, ev.View)
+			cur = ev.View.ID
+		case core.UCast:
+			h.Deliveries = append(h.Deliveries, Delivery{View: cur, Payload: string(ev.Msg.Body())})
+		}
+	}
+}
+
+// next returns the view installed immediately after v in this history,
+// or nil if v is the last (open) view.
+func (h *History) next(v core.ViewID) *core.View {
+	for i, w := range h.Views {
+		if w.ID == v && i+1 < len(h.Views) {
+			return h.Views[i+1]
+		}
+	}
+	return nil
+}
+
+// inView reports whether this history installed the view.
+func (h *History) inView(v core.ViewID) bool {
+	for _, w := range h.Views {
+		if w.ID == v {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckAll runs every invariant checker and concatenates the
+// violations.
+func CheckAll(hs []*History) []error {
+	var errs []error
+	errs = append(errs, CheckSelfInclusion(hs)...)
+	errs = append(errs, CheckMonotoneViews(hs)...)
+	errs = append(errs, CheckViewConsistency(hs)...)
+	errs = append(errs, CheckNoDuplicates(hs)...)
+	errs = append(errs, CheckFIFO(hs)...)
+	errs = append(errs, CheckViewAgreement(hs)...)
+	return errs
+}
+
+// CheckSelfInclusion: every view a member installs contains that
+// member (paper §6 — a member learns of its own removal only by the
+// view *before* its exclusion; it never installs a view it is not in).
+func CheckSelfInclusion(hs []*History) []error {
+	var errs []error
+	for _, h := range hs {
+		for _, v := range h.Views {
+			if !v.Contains(h.ID) {
+				errs = append(errs, fmt.Errorf(
+					"self-inclusion: %s installed view %v that excludes it", h.name(), v))
+			}
+		}
+	}
+	return errs
+}
+
+// CheckMonotoneViews: a member's views strictly advance in the
+// protocol's own installation order (ViewID.Older: sequence number,
+// coordinator-identity tiebreak for concurrent partitioned views) — no
+// view is installed twice, none regress.
+func CheckMonotoneViews(hs []*History) []error {
+	var errs []error
+	for _, h := range hs {
+		for i := 1; i < len(h.Views); i++ {
+			if !h.Views[i-1].ID.Older(h.Views[i].ID) {
+				errs = append(errs, fmt.Errorf(
+					"monotone-views: %s installed %v after %v",
+					h.name(), h.Views[i].ID, h.Views[i-1].ID))
+			}
+		}
+	}
+	return errs
+}
+
+// CheckViewConsistency: any two members that install the same ViewID
+// agree on its membership list, order included.
+func CheckViewConsistency(hs []*History) []error {
+	var errs []error
+	seen := map[core.ViewID]struct {
+		members string
+		who     string
+	}{}
+	for _, h := range hs {
+		for _, v := range h.Views {
+			key := fmt.Sprint(v.Members)
+			if prev, ok := seen[v.ID]; ok {
+				if prev.members != key {
+					errs = append(errs, fmt.Errorf(
+						"view-consistency: view %v is %s at %s but %s at %s",
+						v.ID, prev.members, prev.who, key, h.name()))
+				}
+				continue
+			}
+			seen[v.ID] = struct{ members, who string }{key, h.name()}
+		}
+	}
+	return errs
+}
+
+// CheckNoDuplicates: no payload is delivered twice to the same
+// incarnation — not within a view, not across views (workload payloads
+// are globally unique, so one delivery each is the most there can be).
+func CheckNoDuplicates(hs []*History) []error {
+	var errs []error
+	for _, h := range hs {
+		seen := map[string]core.ViewID{}
+		for _, d := range h.Deliveries {
+			if first, dup := seen[d.Payload]; dup {
+				errs = append(errs, fmt.Errorf(
+					"no-duplicates: %s delivered %q twice (views %v and %v)",
+					h.name(), d.Payload, first, d.View))
+				continue
+			}
+			seen[d.Payload] = d.View
+		}
+	}
+	return errs
+}
+
+// CheckFIFO: per receiving incarnation and per origin tag, delivered
+// workload sequence numbers strictly increase overall and are
+// contiguous within a single view. Gaps are legal only across a view
+// boundary — a partition can hide a stretch of an origin's casts in
+// views the receiver was never part of, but within one shared view
+// reliable FIFO admits no holes.
+func CheckFIFO(hs []*History) []error {
+	var errs []error
+	for _, h := range hs {
+		type last struct {
+			seq  int
+			view core.ViewID
+		}
+		prev := map[string]last{}
+		for _, d := range h.Deliveries {
+			origin, seq, ok := parsePayload(d.Payload)
+			if !ok {
+				errs = append(errs, fmt.Errorf("fifo: %s delivered unparseable payload %q", h.name(), d.Payload))
+				continue
+			}
+			if p, seen := prev[origin]; seen {
+				if seq <= p.seq {
+					errs = append(errs, fmt.Errorf(
+						"fifo: %s delivered %s-%d after %s-%d", h.name(), origin, seq, origin, p.seq))
+				} else if seq != p.seq+1 && d.View == p.view {
+					errs = append(errs, fmt.Errorf(
+						"fifo: %s has a gap within view %v: %s-%d follows %s-%d",
+						h.name(), d.View, origin, seq, origin, p.seq))
+				}
+			}
+			prev[origin] = last{seq, d.View}
+		}
+	}
+	return errs
+}
+
+// CheckViewAgreement is the virtual-synchrony core: members that move
+// from view v to the same successor view w agree exactly on the set of
+// messages delivered while in v. (Members that leave v toward
+// *different* successors — a partition — are allowed to disagree, and
+// an incarnation's final open view is not checked: the simulation
+// stopping is not a flush.)
+func CheckViewAgreement(hs []*History) []error {
+	type edge struct{ from, to core.ViewID }
+	groups := map[edge][]*History{}
+	for _, h := range hs {
+		for i := 0; i+1 < len(h.Views); i++ {
+			e := edge{h.Views[i].ID, h.Views[i+1].ID}
+			groups[e] = append(groups[e], h)
+		}
+	}
+	// Deterministic error order for reproducible reports.
+	edges := make([]edge, 0, len(groups))
+	for e := range groups {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from.Seq != edges[j].from.Seq {
+			return edges[i].from.Seq < edges[j].from.Seq
+		}
+		return edges[i].to.Seq < edges[j].to.Seq
+	})
+	var errs []error
+	for _, e := range edges {
+		members := groups[e]
+		if len(members) < 2 {
+			continue
+		}
+		ref := deliverySet(members[0], e.from)
+		for _, h := range members[1:] {
+			set := deliverySet(h, e.from)
+			if diff := setDiff(ref, set); diff != "" {
+				errs = append(errs, fmt.Errorf(
+					"view-agreement: %s and %s both moved %v->%v but disagree on deliveries in %v: %s",
+					members[0].name(), h.name(), e.from, e.to, e.from, diff))
+			}
+		}
+	}
+	return errs
+}
+
+func deliverySet(h *History, v core.ViewID) map[string]bool {
+	set := map[string]bool{}
+	for _, d := range h.Deliveries {
+		if d.View == v {
+			set[d.Payload] = true
+		}
+	}
+	return set
+}
+
+func setDiff(a, b map[string]bool) string {
+	var onlyA, onlyB []string
+	for p := range a {
+		if !b[p] {
+			onlyA = append(onlyA, p)
+		}
+	}
+	for p := range b {
+		if !a[p] {
+			onlyB = append(onlyB, p)
+		}
+	}
+	if len(onlyA) == 0 && len(onlyB) == 0 {
+		return ""
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return fmt.Sprintf("only-first=%v only-second=%v", onlyA, onlyB)
+}
+
+// parsePayload splits a workload payload "s<slot>.<inc>-<seq>" into
+// its origin tag and sequence number.
+func parsePayload(p string) (origin string, seq int, ok bool) {
+	i := strings.LastIndexByte(p, '-')
+	if i < 0 {
+		return "", 0, false
+	}
+	if _, err := fmt.Sscanf(p[i+1:], "%d", &seq); err != nil {
+		return "", 0, false
+	}
+	return p[:i], seq, true
+}

@@ -1,0 +1,186 @@
+// Package chaos is a deterministic fault-injection harness over the
+// simulated network: a Schedule is a timeline of typed fault actions
+// (link degradation, asymmetric loss, flaps, crash and recover,
+// rolling partitions, heal) applied to a Cluster of group members,
+// while a library of invariant checkers asserts that the stack keeps
+// its virtual-synchrony promises under fire.
+//
+// Everything is seeded: the network simulation, the random schedule
+// generator, and the cluster workload share no wall-clock or map-order
+// nondeterminism, so a failing seed replays exactly.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"horus/internal/netsim"
+)
+
+// Kind discriminates fault actions.
+type Kind uint8
+
+// Fault-action kinds.
+const (
+	KindSetLink         Kind = iota // symmetric link override between slots A,B
+	KindSetLinkDirected             // directed override A -> B only
+	KindClearLink                   // drop overrides between A,B (both directions)
+	KindCrash                       // crash slot A's current incarnation
+	KindRecover                     // boot a fresh incarnation at slot A's site
+	KindPartition                   // split the network into Sides[0] | Sides[1]
+	KindHeal                        // remove the partition
+)
+
+var kindNames = [...]string{
+	"set-link", "set-link-directed", "clear-link",
+	"crash", "recover", "partition", "heal",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Action is one timed fault. Slots (A, B, Sides) name cluster members
+// by position, not endpoint identity: the driver resolves a slot to
+// its *current* incarnation when the action fires, so a crash/recover
+// cycle in between changes which endpoint a later action hits —
+// exactly as a real operator script keyed by hostname would behave.
+// Link overrides die with the incarnation they were applied to
+// (recovery detaches the old endpoint and its links).
+type Action struct {
+	At    time.Duration // offset from schedule start
+	Kind  Kind
+	A, B  int         // member slots (A only, for crash/recover)
+	Link  netsim.Link // for set-link kinds
+	Sides [2][]int    // for partition
+	Note  string      // provenance, e.g. "ramp 2/5"
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case KindSetLink, KindSetLinkDirected:
+		return fmt.Sprintf("%8v %s s%d-s%d loss=%.2f delay=%v %s",
+			a.At, a.Kind, a.A, a.B, a.Link.LossRate, a.Link.Delay, a.Note)
+	case KindClearLink:
+		return fmt.Sprintf("%8v %s s%d-s%d %s", a.At, a.Kind, a.A, a.B, a.Note)
+	case KindCrash, KindRecover:
+		return fmt.Sprintf("%8v %s s%d %s", a.At, a.Kind, a.A, a.Note)
+	case KindPartition:
+		return fmt.Sprintf("%8v %s %v|%v %s", a.At, a.Kind, a.Sides[0], a.Sides[1], a.Note)
+	default:
+		return fmt.Sprintf("%8v %s %s", a.At, a.Kind, a.Note)
+	}
+}
+
+// Schedule is a fault timeline. Actions need not be appended in time
+// order; Sorted returns the canonical ordering.
+type Schedule []Action
+
+// Sorted returns the schedule ordered by time, ties broken by append
+// order (the sort is stable), which keeps replay deterministic.
+func (s Schedule) Sorted() Schedule {
+	out := append(Schedule(nil), s...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// End returns the time of the last action, or zero for an empty
+// schedule.
+func (s Schedule) End() time.Duration {
+	var end time.Duration
+	for _, a := range s {
+		if a.At > end {
+			end = a.At
+		}
+	}
+	return end
+}
+
+// String renders the timeline one action per line.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for _, a := range s.Sorted() {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RampLoss builds a link-degradation ramp: the symmetric a-b link
+// loses packets at linearly increasing rates over `steps` steps of
+// `step` duration, reaching `peak`, then clears. The base link (delay,
+// jitter) is taken from l; its LossRate is overwritten per step.
+func RampLoss(start, step time.Duration, a, b int, l netsim.Link, peak float64, steps int) Schedule {
+	var s Schedule
+	for i := 1; i <= steps; i++ {
+		li := l
+		li.LossRate = peak * float64(i) / float64(steps)
+		s = append(s, Action{
+			At: start + time.Duration(i-1)*step, Kind: KindSetLink,
+			A: a, B: b, Link: li, Note: fmt.Sprintf("ramp %d/%d", i, steps),
+		})
+	}
+	s = append(s, Action{
+		At: start + time.Duration(steps)*step, Kind: KindClearLink,
+		A: a, B: b, Note: "ramp end",
+	})
+	return s
+}
+
+// Flap builds a flapping link: a-b goes fully dead for `down`, comes
+// back for `up`, `cycles` times, ending cleared.
+func Flap(start, down, up time.Duration, a, b int, cycles int) Schedule {
+	var s Schedule
+	at := start
+	for i := 1; i <= cycles; i++ {
+		s = append(s, Action{
+			At: at, Kind: KindSetLink, A: a, B: b,
+			Link: netsim.Link{LossRate: 1}, Note: fmt.Sprintf("flap down %d/%d", i, cycles),
+		})
+		at += down
+		s = append(s, Action{
+			At: at, Kind: KindClearLink, A: a, B: b,
+			Note: fmt.Sprintf("flap up %d/%d", i, cycles),
+		})
+		at += up
+	}
+	return s
+}
+
+// RollingPartition builds a sequence of partitions, each held for
+// `dwell` and healed before the next, walking a cut across the
+// member slots: {0}|{rest}, {0,1}|{rest}, and so on.
+func RollingPartition(start, dwell time.Duration, members int) Schedule {
+	var s Schedule
+	at := start
+	for cut := 1; cut < members; cut++ {
+		var sides [2][]int
+		for i := 0; i < members; i++ {
+			if i < cut {
+				sides[0] = append(sides[0], i)
+			} else {
+				sides[1] = append(sides[1], i)
+			}
+		}
+		s = append(s, Action{At: at, Kind: KindPartition, Sides: sides,
+			Note: fmt.Sprintf("rolling cut %d", cut)})
+		at += dwell
+		s = append(s, Action{At: at, Kind: KindHeal, Note: fmt.Sprintf("rolling heal %d", cut)})
+		at += dwell / 2
+	}
+	return s
+}
+
+// CrashRecover builds a crash of slot a held for `dwell`, then a fresh
+// incarnation booted at the same site.
+func CrashRecover(start, dwell time.Duration, a int) Schedule {
+	return Schedule{
+		{At: start, Kind: KindCrash, A: a},
+		{At: start + dwell, Kind: KindRecover, A: a},
+	}
+}

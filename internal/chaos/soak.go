@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"time"
+
+	"horus/internal/netsim"
+)
+
+// SoakConfig parameterizes one seeded soak run. The zero value gives
+// the canonical recipe used by the integration soak and cmd/horus-chaos
+// — change a field only when exploring; the defaults are what the
+// 20-seed regression suite pins down.
+type SoakConfig struct {
+	Members   int           // cluster size; default 4
+	Horizon   time.Duration // fault-schedule horizon; default 5s
+	Incidents int           // incidents generated per schedule; default 7
+	Link      netsim.Link   // healthy link; zero → 1ms delay, 2ms jitter, 2% loss
+	FormBy    time.Duration // deadline for initial view formation; default 6s
+	SettleBy  time.Duration // deadline for post-schedule re-convergence; default 10s
+}
+
+func (c *SoakConfig) fill() {
+	if c.Members == 0 {
+		c.Members = 4
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 5 * time.Second
+	}
+	if c.Incidents == 0 {
+		c.Incidents = 7
+	}
+	if c.Link == (netsim.Link{}) {
+		c.Link = netsim.Link{Delay: time.Millisecond, Jitter: 2 * time.Millisecond, LossRate: 0.02}
+	}
+	if c.FormBy == 0 {
+		c.FormBy = 6 * time.Second
+	}
+	if c.SettleBy == 0 {
+		c.SettleBy = 10 * time.Second
+	}
+}
+
+// RunSeed executes the canonical chaos recipe for one seed: boot and
+// form a cluster, generate and apply a seeded fault schedule under a
+// continuous cast workload, run past the schedule's end, then require
+// re-convergence to one full view. The returned cluster is non-nil
+// whenever the run got past formation, so callers can inspect
+// Histories, Check, and Digest even when Settle failed. Invariant
+// checking is left to the caller (Cluster.Check / CheckAll): a run can
+// settle and still have violated virtual synchrony along the way.
+func RunSeed(seed int64, cfg SoakConfig) (*Cluster, error) {
+	cfg.fill()
+	c := NewCluster(Config{Seed: seed, Members: cfg.Members, Link: cfg.Link})
+	if err := c.Form(cfg.FormBy); err != nil {
+		return nil, err
+	}
+	sched := Generate(seed, GenConfig{
+		Members: cfg.Members, Horizon: cfg.Horizon, Incidents: cfg.Incidents,
+	})
+	c.Apply(sched)
+	c.Run(sched.End() + 500*time.Millisecond)
+	if err := c.Settle(cfg.SettleBy); err != nil {
+		return c, err
+	}
+	return c, nil
+}

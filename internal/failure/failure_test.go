@@ -62,3 +62,47 @@ func TestClearForgets(t *testing.T) {
 		t.Errorf("Faulty after Clear = %v", got)
 	}
 }
+
+// TestClearRejoinPath covers the rejoin scenario Clear exists for: an
+// endpoint declared faulty comes back (new incarnation at the same
+// identity, or an operator overrides the verdict), Clear is called, and
+// the detector must treat it as a first-class member again — fully
+// re-suspectable, with the threshold counted from zero and subscribers
+// hearing the fresh verdict when it is crossed again.
+func TestClearRejoinPath(t *testing.T) {
+	s := NewService(2)
+	var verdicts [][]core.EndpointID
+	s.Subscribe(func(f []core.EndpointID) { verdicts = append(verdicts, f) })
+
+	x := id("x", 9)
+	s.Report(id("a", 1), x)
+	s.Report(id("b", 2), x)
+	if len(verdicts) != 1 {
+		t.Fatalf("verdicts before Clear = %v, want exactly one", verdicts)
+	}
+
+	// While faulty, further reports are swallowed; after Clear they
+	// must count again.
+	s.Report(id("c", 3), x)
+	s.Clear(x)
+	if got := s.Faulty(); len(got) != 0 {
+		t.Fatalf("Faulty after Clear = %v, want empty", got)
+	}
+
+	// Clear must also have dropped partial evidence: one pre-Clear
+	// observer plus one post-Clear observer is NOT two fresh reports.
+	s.Report(id("a", 1), x)
+	if len(verdicts) != 1 {
+		t.Fatalf("single post-Clear report re-declared faulty: %v", verdicts)
+	}
+	s.Report(id("b", 2), x)
+	if len(verdicts) != 2 {
+		t.Fatalf("threshold crossed again but no fresh verdict: %v", verdicts)
+	}
+	if len(verdicts[1]) != 1 || verdicts[1][0] != x {
+		t.Fatalf("fresh verdict = %v, want [%v]", verdicts[1], x)
+	}
+	if got := s.Faulty(); len(got) != 1 || got[0] != x {
+		t.Fatalf("Faulty after re-suspicion = %v", got)
+	}
+}

@@ -1,0 +1,152 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"horus/internal/chaos"
+	"horus/internal/core"
+	"horus/internal/layers/com"
+	"horus/internal/layers/hbeat"
+	"horus/internal/layers/mbrship"
+	"horus/internal/layers/nak"
+	"horus/internal/netsim"
+)
+
+// hbStack is the heartbeat-detected membership stack: NAK's own
+// silence suspicion is off (suspectAfter 0), so the only failure
+// detector in the stack is HBEAT.
+func hbStack() core.StackSpec {
+	return core.StackSpec{
+		mbrship.NewWith(
+			mbrship.WithGossipPeriod(40*time.Millisecond),
+			mbrship.WithFlushTimeout(400*time.Millisecond),
+		),
+		hbeat.NewWith(
+			hbeat.WithPeriod(30*time.Millisecond),
+			hbeat.WithMinTimeout(90*time.Millisecond),
+			hbeat.WithMaxTimeout(250*time.Millisecond),
+		),
+		nak.NewWith(
+			nak.WithStatusPeriod(20*time.Millisecond),
+			nak.WithNakResend(15*time.Millisecond),
+			nak.WithSuspectAfter(0),
+		),
+		com.New,
+	}
+}
+
+// TestHeartbeatDetectsCrashWithinBound: with HBEAT as the only
+// detector, a crashed member is suspected and flushed out within a
+// bounded virtual-time interval — here maxTimeout (250ms) + one sweep
+// period + flush round-trips, asserted at 1.5s with margin.
+func TestHeartbeatDetectsCrashWithinBound(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 41, DefaultLink: netsim.Link{Delay: time.Millisecond}})
+	eps := make([]*core.Endpoint, 3)
+	groups := make([]*core.Group, 3)
+	cols := make([]*vsCollector, 3)
+	for i, site := range []string{"a", "b", "c"} {
+		eps[i] = net.NewEndpoint(site)
+		cols[i] = newVSCollector(site)
+		g, err := eps[i].Join("grp", hbStack(), cols[i].handler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = g
+	}
+	for i := 1; i < 3; i++ {
+		i := i
+		var tryMerge func()
+		tryMerge = func() {
+			if v := cols[i].lastView(); v != nil && v.Size() >= 3 {
+				return
+			}
+			groups[i].Merge(eps[0].ID())
+			net.At(net.Now()+150*time.Millisecond, tryMerge)
+		}
+		net.At(net.Now()+time.Duration(i)*50*time.Millisecond, tryMerge)
+	}
+	net.RunFor(2 * time.Second)
+	for i, c := range cols {
+		if v := c.lastView(); v == nil || v.Size() != 3 {
+			t.Fatalf("member %d: view %v, want 3 members", i, v)
+		}
+	}
+
+	// Crash c. Nothing reports a PROBLEM except HBEAT's own silence
+	// detection; the survivors must install {a, b} within the bound.
+	crashAt := net.Now()
+	net.Crash(eps[2].ID())
+	const bound = 1500 * time.Millisecond
+	net.RunFor(bound)
+	for _, c := range cols[:2] {
+		v := c.lastView()
+		if v == nil || v.Size() != 2 || v.Contains(eps[2].ID()) {
+			t.Fatalf("%s: view %v at %v after crash, want {a,b} within %v",
+				c.name, v, net.Now()-crashAt, bound)
+		}
+	}
+}
+
+// TestChaosSoak runs randomized fault schedules across many seeds:
+// loss ramps, asymmetric loss, flapping links, crash/recover cycles,
+// and rolling partitions, with a continuous cast workload. After the
+// schedule's safety tail the cluster must re-converge to one full
+// view, and every virtual-synchrony invariant must hold over the whole
+// run. A failure names the seed; rerun with that seed for an exact
+// replay (go test -run TestChaosSoak, or cmd/horus-chaos -seed N -v).
+func TestChaosSoak(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(soakName(seed), func(t *testing.T) {
+			hists, err := runChaosSeed(seed)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if errs := chaos.CheckAll(hists); len(errs) != 0 {
+				for _, e := range errs {
+					t.Errorf("seed %d: %v", seed, e)
+				}
+			}
+		})
+	}
+}
+
+func soakName(seed int64) string { return "seed" + string(rune('0'+seed/10)) + string(rune('0'+seed%10)) }
+
+// runChaosSeed is the one deterministic recipe shared by the soak, the
+// replay test, and cmd/horus-chaos — chaos.RunSeed with its defaults.
+func runChaosSeed(seed int64) ([]*chaos.History, error) {
+	c, err := chaos.RunSeed(seed, chaos.SoakConfig{})
+	if c == nil {
+		return nil, err
+	}
+	return c.Histories, err
+}
+
+// TestChaosDeterministicReplay: the whole pipeline — simulation,
+// schedule generation, workload, membership — is a pure function of
+// the seed, so a failing seed's replay sees the identical execution.
+func TestChaosDeterministicReplay(t *testing.T) {
+	run := func() string {
+		c := chaos.NewCluster(chaos.Config{
+			Seed: 3, Members: 4,
+			Link: netsim.Link{Delay: time.Millisecond, Jitter: 2 * time.Millisecond, LossRate: 0.02},
+		})
+		if err := c.Form(6 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		sched := chaos.Generate(3, chaos.GenConfig{Members: 4, Horizon: 3 * time.Second, Incidents: 5})
+		c.Apply(sched)
+		c.Run(sched.End() + 2*time.Second)
+		return c.Digest()
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("same seed diverged:\n--- run 1\n%s\n--- run 2\n%s", d1, d2)
+	}
+}

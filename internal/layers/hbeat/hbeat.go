@@ -1,0 +1,362 @@
+// Package hbeat implements the HBEAT layer: a heartbeat-based failure
+// detector filling the role of the paper's §5 "external service [that]
+// picks up communication problem-reports and other failure
+// information" — but producing that information itself instead of
+// waiting for hand-injected PROBLEM events.
+//
+// Each instance multicasts a small heartbeat on a timer and tracks the
+// inter-arrival times of traffic from every other member of the
+// current view. Silence is turned into suspicion with an adaptive
+// timeout in the style of Jacobson's RTT estimator: an EWMA of the
+// inter-arrival mean plus k times an EWMA of its deviation, clamped to
+// a configurable floor and ceiling. When a member stays silent past
+// its timeout the layer emits a PROBLEM upcall — which a membership
+// layer above converts into a clean view change — and/or reports the
+// suspect to an external failure.Service via WithReporter.
+//
+// Any traffic counts as life, not just heartbeats, so a busy link
+// never looks dead; and a suspect that speaks again is re-armed, so a
+// member that was merely slow can be re-suspected later (the layer
+// holds no grudges — permanent exclusion is membership's decision).
+//
+// The layer is placement-agnostic below the membership layer: it
+// learns the view from view downcalls travelling past it (or VIEW
+// upcalls, when placed above membership for monitoring only).
+//
+// Properties: requires nothing (placement-agnostic — periodic
+// heartbeats are loss-tolerant over raw best effort and harmless over
+// reliable FIFO); provides nothing; inherits everything.
+package hbeat
+
+import (
+	"fmt"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// Wire kinds.
+const (
+	kData = 1 // cast pass-through
+	kSend = 2 // send pass-through
+	kBeat = 3 // heartbeat (absorbed)
+)
+
+// Defaults; override with Options.
+const (
+	defaultPeriod = 100 * time.Millisecond
+	defaultK      = 4.0
+
+	// ewmaGain and devGain are the Jacobson-style smoothing gains
+	// (1/8 and 1/4, as in TCP's RTT estimation).
+	ewmaGain = 0.125
+	devGain  = 0.25
+)
+
+// Option configures the layer.
+type Option func(*Hbeat)
+
+// WithPeriod sets the heartbeat and sweep interval.
+func WithPeriod(d time.Duration) Option { return func(h *Hbeat) { h.period = d } }
+
+// WithK sets the deviation multiplier of the adaptive timeout
+// (timeout = mean + k·dev).
+func WithK(k float64) Option { return func(h *Hbeat) { h.k = k } }
+
+// WithMinTimeout sets the suspicion-timeout floor. Default 2·period.
+func WithMinTimeout(d time.Duration) Option { return func(h *Hbeat) { h.minTimeout = d } }
+
+// WithMaxTimeout sets the suspicion-timeout ceiling. Default
+// 20·period.
+func WithMaxTimeout(d time.Duration) Option { return func(h *Hbeat) { h.maxTimeout = d } }
+
+// WithReporter routes suspicions into an external failure-detection
+// service (e.g. failure.Service.Report) instead of — or in addition
+// to — PROBLEM upcalls. The observer argument is this endpoint.
+func WithReporter(fn func(observer, suspect core.EndpointID)) Option {
+	return func(h *Hbeat) { h.reporter = fn }
+}
+
+// WithoutProblemUpcalls suppresses the PROBLEM upcall, for stacks
+// whose membership layer runs WithExternalSuspicions and hears
+// verdicts only through the service fed by WithReporter.
+func WithoutProblemUpcalls() Option { return func(h *Hbeat) { h.noUpcalls = true } }
+
+// New returns an HBEAT layer with default configuration.
+func New() core.Layer { return newHbeat() }
+
+// NewWith returns a factory with options applied.
+func NewWith(opts ...Option) core.Factory {
+	return func() core.Layer {
+		h := newHbeat()
+		for _, o := range opts {
+			o(h)
+		}
+		return h
+	}
+}
+
+func newHbeat() *Hbeat {
+	return &Hbeat{period: defaultPeriod, k: defaultK}
+}
+
+// peerState tracks the arrival process of one monitored member.
+type peerState struct {
+	last      time.Duration // time of the most recent arrival
+	mean      float64       // EWMA of inter-arrival time, in seconds
+	dev       float64       // EWMA of |sample - mean|, in seconds
+	samples   int
+	suspected bool
+}
+
+// Hbeat is one HBEAT layer instance.
+type Hbeat struct {
+	core.Base
+
+	members []core.EndpointID
+	peers   map[core.EndpointID]*peerState
+
+	period     time.Duration
+	k          float64
+	minTimeout time.Duration
+	maxTimeout time.Duration
+	reporter   func(observer, suspect core.EndpointID)
+	noUpcalls  bool
+
+	tickCancel func()
+	destroyed  bool
+	stats      Stats
+}
+
+// Stats counts HBEAT activity.
+type Stats struct {
+	BeatsSent     int
+	BeatsReceived int
+	Suspicions    int // PROBLEM upcalls / reports emitted
+	Rearmed       int // suspects that spoke again and were re-armed
+}
+
+// Name implements core.Layer.
+func (h *Hbeat) Name() string { return "HBEAT" }
+
+// Stats returns a snapshot of the layer's counters.
+func (h *Hbeat) Stats() Stats { return h.stats }
+
+// Timeout returns the current adaptive suspicion timeout for a peer
+// (for tests and diagnostics); zero if the peer is not monitored.
+func (h *Hbeat) Timeout(e core.EndpointID) time.Duration {
+	p := h.peers[e]
+	if p == nil {
+		return 0
+	}
+	return h.timeoutOf(p)
+}
+
+// Init implements core.Layer.
+func (h *Hbeat) Init(c *core.Context) error {
+	if err := h.Base.Init(c); err != nil {
+		return err
+	}
+	h.peers = make(map[core.EndpointID]*peerState)
+	if h.minTimeout == 0 {
+		h.minTimeout = 2 * h.period
+	}
+	if h.maxTimeout == 0 {
+		h.maxTimeout = 20 * h.period
+	}
+	if h.period > 0 {
+		h.tickCancel = c.SetTimer(h.period, h.tick)
+	}
+	return nil
+}
+
+// Down implements core.Layer.
+func (h *Hbeat) Down(ev *core.Event) {
+	switch ev.Type {
+	case core.DCast:
+		ev.Msg.PushUint8(kData)
+		h.Ctx.Down(ev)
+	case core.DSend:
+		ev.Msg.PushUint8(kSend)
+		h.Ctx.Down(ev)
+	case core.DView:
+		h.applyView(ev.View)
+		h.Ctx.Down(ev)
+	case core.DDestroy:
+		h.destroyed = true
+		if h.tickCancel != nil {
+			h.tickCancel()
+			h.tickCancel = nil
+		}
+		h.Ctx.Down(ev)
+	case core.DDump:
+		ev.Dump = append(ev.Dump, "HBEAT: "+h.dumpLine())
+		h.Ctx.Down(ev)
+	default:
+		h.Ctx.Down(ev)
+	}
+}
+
+// Up implements core.Layer.
+func (h *Hbeat) Up(ev *core.Event) {
+	switch ev.Type {
+	case core.UCast, core.USend:
+		kind := ev.Msg.PopUint8()
+		h.recordArrival(ev.Source)
+		if kind == kBeat {
+			h.stats.BeatsReceived++
+			return // absorbed
+		}
+		h.Ctx.Up(ev)
+	case core.UView:
+		// Placed above the membership layer the view arrives as an
+		// upcall instead of a downcall; monitor it the same way.
+		h.applyView(ev.View)
+		h.Ctx.Up(ev)
+	default:
+		h.Ctx.Up(ev)
+	}
+}
+
+// applyView resets monitoring to the new membership: new members get a
+// fresh grace period, removed members are forgotten, and members
+// re-admitted after suspicion start clean (re-admission is decided
+// above; the detector must not instantly re-accuse).
+func (h *Hbeat) applyView(v *core.View) {
+	if v == nil {
+		return
+	}
+	h.members = append([]core.EndpointID(nil), v.Members...)
+	now := h.Ctx.Now()
+	alive := make(map[core.EndpointID]bool, len(v.Members))
+	for _, m := range v.Members {
+		alive[m] = true
+		if m == h.Ctx.Self() {
+			continue
+		}
+		p := h.peers[m]
+		if p == nil || p.suspected {
+			h.peers[m] = &peerState{last: now}
+		} else {
+			// Known-good peer: keep its learned arrival statistics but
+			// restart the silence clock — view installation pauses
+			// traffic, and that pause must not count against it.
+			p.last = now
+		}
+	}
+	for e := range h.peers {
+		if !alive[e] {
+			delete(h.peers, e)
+		}
+	}
+}
+
+// recordArrival folds one arrival into the peer's estimator.
+func (h *Hbeat) recordArrival(src core.EndpointID) {
+	if src == h.Ctx.Self() || src.IsZero() {
+		return
+	}
+	p := h.peers[src]
+	if p == nil {
+		// Traffic from outside the view (merge discovery, pre-join):
+		// not monitored.
+		return
+	}
+	now := h.Ctx.Now()
+	sample := (now - p.last).Seconds()
+	p.last = now
+	if p.samples == 0 {
+		p.mean = sample
+		p.dev = sample / 2
+	} else {
+		err := sample - p.mean
+		p.mean += ewmaGain * err
+		if err < 0 {
+			err = -err
+		}
+		p.dev += devGain * (err - p.dev)
+	}
+	p.samples++
+	if p.suspected {
+		p.suspected = false
+		h.stats.Rearmed++
+	}
+}
+
+// timeoutOf computes the adaptive timeout for a peer.
+func (h *Hbeat) timeoutOf(p *peerState) time.Duration {
+	if p.samples == 0 {
+		// No arrival observed yet: allow the full ceiling before the
+		// first accusation.
+		return h.maxTimeout
+	}
+	d := time.Duration((p.mean + h.k*p.dev) * float64(time.Second))
+	if d < h.minTimeout {
+		d = h.minTimeout
+	}
+	if d > h.maxTimeout {
+		d = h.maxTimeout
+	}
+	return d
+}
+
+// tick sends a heartbeat and sweeps for silent members.
+func (h *Hbeat) tick() {
+	if h.destroyed {
+		return
+	}
+	h.tickCancel = h.Ctx.SetTimer(h.period, h.tick)
+	if len(h.members) >= 2 {
+		m := message.New(nil)
+		m.PushUint8(kBeat)
+		h.stats.BeatsSent++
+		h.Ctx.Down(&core.Event{Type: core.DCast, Msg: m})
+	}
+	now := h.Ctx.Now()
+	// Sweep in view-rank order for determinism.
+	for _, e := range h.members {
+		if e == h.Ctx.Self() {
+			continue
+		}
+		p := h.peers[e]
+		if p == nil || p.suspected {
+			continue
+		}
+		if silence := now - p.last; silence > h.timeoutOf(p) {
+			p.suspected = true
+			h.stats.Suspicions++
+			h.Ctx.Tracef("hbeat %s: suspecting %s after %v of silence",
+				h.Ctx.Self(), e, silence)
+			if h.reporter != nil {
+				h.reporter(h.Ctx.Self(), e)
+			}
+			if !h.noUpcalls {
+				h.Ctx.Up(&core.Event{Type: core.UProblem, Source: e})
+			}
+		}
+	}
+}
+
+// Transparent implements core.Skipper: the layer acts only on data
+// traffic, views, and lifecycle events.
+func (h *Hbeat) Transparent(t core.EventType, down bool) bool {
+	if down {
+		switch t {
+		case core.DCast, core.DSend, core.DView, core.DDestroy, core.DDump:
+			return false
+		}
+		return true
+	}
+	switch t {
+	case core.UCast, core.USend, core.UView:
+		return false
+	}
+	return true
+}
+
+func (h *Hbeat) dumpLine() string {
+	return fmt.Sprintf("monitored=%d sent=%d recv=%d suspicions=%d rearmed=%d",
+		len(h.peers), h.stats.BeatsSent, h.stats.BeatsReceived,
+		h.stats.Suspicions, h.stats.Rearmed)
+}

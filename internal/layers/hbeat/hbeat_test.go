@@ -1,0 +1,194 @@
+package hbeat_test
+
+import (
+	"testing"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/layers/hbeat"
+	"horus/internal/layertest"
+	"horus/internal/message"
+)
+
+const period = 10 * time.Millisecond
+
+func harness(t *testing.T, opts ...hbeat.Option) *layertest.Harness {
+	t.Helper()
+	opts = append([]hbeat.Option{hbeat.WithPeriod(period)}, opts...)
+	return layertest.New(t, hbeat.NewWith(opts...))
+}
+
+// beat fakes an arriving heartbeat from peer at the current virtual
+// time.
+func beat(h *layertest.Harness, peer core.EndpointID) {
+	m := message.New(nil)
+	m.PushUint8(3) // kBeat
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: m, Source: peer})
+}
+
+func TestHeartbeatsSentOncePerPeriod(t *testing.T) {
+	h := harness(t)
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	h.Run(10 * period)
+	casts := h.DownOfType(core.DCast)
+	if n := len(casts); n < 8 || n > 11 {
+		t.Fatalf("sent %d heartbeats over 10 periods, want ~10", n)
+	}
+}
+
+func TestNoHeartbeatsWhenAlone(t *testing.T) {
+	h := harness(t)
+	h.InstallView(h.Self())
+	h.Run(10 * period)
+	if n := len(h.DownOfType(core.DCast)); n != 0 {
+		t.Fatalf("singleton view emitted %d heartbeats", n)
+	}
+}
+
+func TestBeatsAbsorbedDataPassedUp(t *testing.T) {
+	h := harness(t)
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	beat(h, peer)
+	if n := len(h.UpOfType(core.UCast)); n != 0 {
+		t.Fatalf("heartbeat leaked above the layer (%d upcalls)", n)
+	}
+	// A data cast round-trips: the kind byte pushed on the way down is
+	// popped on the way up and the payload survives.
+	h.InjectDown(&core.Event{Type: core.DCast, Msg: message.New([]byte("payload"))})
+	down := h.DownOfType(core.DCast)
+	if len(down) == 0 {
+		t.Fatal("data cast did not reach the wire")
+	}
+	h.InjectUp(&core.Event{Type: core.UCast, Msg: down[len(down)-1].Msg.Clone(), Source: peer})
+	up := h.UpOfType(core.UCast)
+	if len(up) != 1 || string(up[0].Msg.Body()) != "payload" {
+		t.Fatalf("data did not round-trip: %v", up)
+	}
+}
+
+func TestSilentPeerSuspected(t *testing.T) {
+	h := harness(t, hbeat.WithMaxTimeout(4*period))
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	// Feed a few regular beats so the estimator converges...
+	for i := 0; i < 5; i++ {
+		h.Run(period)
+		beat(h, peer)
+	}
+	if n := len(h.UpOfType(core.UProblem)); n != 0 {
+		t.Fatalf("suspected a live peer (%d PROBLEMs)", n)
+	}
+	// ...then go silent. With mean≈period and the 4·period ceiling the
+	// accusation must land within ~5 periods.
+	h.Run(8 * period)
+	probs := h.UpOfType(core.UProblem)
+	if len(probs) != 1 {
+		t.Fatalf("got %d PROBLEM upcalls, want exactly 1", len(probs))
+	}
+	if probs[0].Source != peer {
+		t.Fatalf("suspected %v, want %v", probs[0].Source, peer)
+	}
+}
+
+func TestSuspectReportedNotRepeated(t *testing.T) {
+	var reports []core.EndpointID
+	h := harness(t,
+		hbeat.WithMaxTimeout(3*period),
+		hbeat.WithoutProblemUpcalls(),
+		hbeat.WithReporter(func(obs, sus core.EndpointID) { reports = append(reports, sus) }),
+	)
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	h.Run(20 * period) // silence well past the ceiling
+	if len(reports) != 1 || reports[0] != peer {
+		t.Fatalf("reports = %v, want exactly one for %v", reports, peer)
+	}
+	if n := len(h.UpOfType(core.UProblem)); n != 0 {
+		t.Fatalf("WithoutProblemUpcalls still raised %d PROBLEMs", n)
+	}
+}
+
+func TestSpeakingAgainRearmsSuspicion(t *testing.T) {
+	h := harness(t, hbeat.WithMaxTimeout(3*period))
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	h.Run(10 * period) // first suspicion
+	if n := len(h.UpOfType(core.UProblem)); n != 1 {
+		t.Fatalf("first silence: %d PROBLEMs, want 1", n)
+	}
+	beat(h, peer)       // the suspect speaks — re-armed
+	h.Run(10 * period)  // second silence
+	if n := len(h.UpOfType(core.UProblem)); n != 2 {
+		t.Fatalf("after re-arm + second silence: %d PROBLEMs, want 2", n)
+	}
+}
+
+func TestViewChangeForgetsRemovedAndGracesReadmitted(t *testing.T) {
+	h := harness(t, hbeat.WithMaxTimeout(3*period))
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	h.Run(10 * period) // suspect peer
+	if n := len(h.UpOfType(core.UProblem)); n != 1 {
+		t.Fatalf("setup: %d PROBLEMs, want 1", n)
+	}
+	// Membership removes the suspect...
+	h.InstallView(h.Self())
+	h.Run(10 * period)
+	if n := len(h.UpOfType(core.UProblem)); n != 1 {
+		t.Fatalf("removed peer accused again: %d PROBLEMs", n)
+	}
+	// ...then re-admits it: the detector starts clean, with the full
+	// grace ceiling before any fresh accusation.
+	h.InstallView(h.Self(), peer)
+	h.Run(2 * period)
+	if n := len(h.UpOfType(core.UProblem)); n != 1 {
+		t.Fatalf("re-admitted peer accused before grace expired: %d PROBLEMs", n)
+	}
+	h.Run(10 * period) // still silent — now a fresh verdict is due
+	if n := len(h.UpOfType(core.UProblem)); n != 2 {
+		t.Fatalf("re-admitted silent peer never re-suspected: %d PROBLEMs", n)
+	}
+}
+
+func TestAdaptiveTimeoutTracksJitter(t *testing.T) {
+	steady := harness(t, hbeat.WithMaxTimeout(100*period))
+	jittery := harness(t, hbeat.WithMaxTimeout(100*period))
+	peer := layertest.ID("peer", 1)
+	steady.InstallView(steady.Self(), peer)
+	jittery.InstallView(jittery.Self(), peer)
+	for i := 0; i < 20; i++ {
+		steady.Run(period)
+		beat(steady, peer)
+		// Alternate short/long gaps: same count, higher deviation.
+		if i%2 == 0 {
+			jittery.Run(period / 2)
+		} else {
+			jittery.Run(2 * period)
+		}
+		beat(jittery, peer)
+	}
+	layerOf := func(h *layertest.Harness) *hbeat.Hbeat {
+		var l *hbeat.Hbeat
+		h.EP.Do(func() { l = h.G.Stack().Focus("HBEAT").(*hbeat.Hbeat) })
+		return l
+	}
+	st, jt := layerOf(steady).Timeout(peer), layerOf(jittery).Timeout(peer)
+	if jt <= st {
+		t.Fatalf("jittery timeout %v not above steady %v", jt, st)
+	}
+}
+
+func TestDestroyCancelsTicker(t *testing.T) {
+	h := harness(t)
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	h.Run(2 * period)
+	h.InjectDown(&core.Event{Type: core.DDestroy})
+	before := len(h.DownOfType(core.DCast))
+	h.Run(10 * period)
+	if after := len(h.DownOfType(core.DCast)); after != before {
+		t.Fatalf("destroyed layer kept beating: %d -> %d", before, after)
+	}
+}

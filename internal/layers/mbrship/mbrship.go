@@ -57,6 +57,8 @@ const (
 	kMergeDeny  = 11 // merge denied {reason}
 	kMergeReady = 12 // requester side flushed {survivors}
 	kLeave      = 13 // voluntary departure announcement
+	kPoolMark   = 14 // end-of-rebroadcast marker {round}, merge flushes
+	kPoolAck    = 15 // survivor confirms pool receipt {round}
 )
 
 // states of the layer.
@@ -199,6 +201,7 @@ type Mbrship struct {
 	mergePeerEpoch uint64
 	mergeReady     bool // incoming: requester flushed; outgoing: grant received
 	ownFlushDone   bool // incoming/outgoing: our side's flush finished
+	poolWait       map[core.EndpointID]bool // outgoing: survivors owing a pool ack
 	mergeTries     int  // retry-timer firings for the current attempt
 	mergeCancel    func()
 	pendingReqs    []*core.View // manual grant: requests awaiting the application
@@ -351,7 +354,7 @@ func (m *Mbrship) castDown(msg *message.Message) {
 	m.recordDelivered(m.Ctx.Self(), seq)
 	msg.PushUint64(seq)
 	m.Ctx.Tracef("mbrship %s: cast seq=%d epoch=%d", m.Ctx.Self(), seq, m.epoch)
-	msg.PushUint64(m.epoch)
+	m.pushViewTag(msg)
 	msg.PushUint8(kData)
 	m.Ctx.Down(&core.Event{Type: core.DCast, Msg: msg})
 	m.Ctx.Up(&core.Event{Type: core.UCast, Msg: local.Clone(), Source: m.Ctx.Self()})
@@ -391,12 +394,13 @@ func (m *Mbrship) dispatch(kind uint8, ev *core.Event) {
 	case kSendData:
 		m.Ctx.Up(ev)
 	case kSuspect:
-		epoch := ev.Msg.PopUint64()
+		epoch, coord := popViewTag(ev.Msg)
 		list := wire.PopIDList(ev.Msg)
-		if epoch != m.epoch {
+		if !m.inCurrentView(epoch, coord) {
 			// A suspicion from a previous view — possibly seconds old,
-			// replayed by NAK retransmission after a partition healed.
-			// Acting on it would tear a freshly merged view apart.
+			// replayed by NAK retransmission after a partition healed —
+			// or from a concurrent same-seq view. Acting on it would
+			// tear a freshly merged view apart.
 			m.stats.StaleDropped++
 			return
 		}
@@ -422,8 +426,12 @@ func (m *Mbrship) dispatch(kind uint8, ev *core.Event) {
 		m.receiveMergeDeny(ev)
 	case kMergeReady:
 		m.receiveMergeReady(ev)
+	case kPoolMark:
+		m.receivePoolMark(ev)
+	case kPoolAck:
+		m.receivePoolAck(ev)
 	case kLeave:
-		if epoch := ev.Msg.PopUint64(); epoch != m.epoch {
+		if epoch, coord := popViewTag(ev.Msg); !m.inCurrentView(epoch, coord) {
 			m.stats.StaleDropped++
 			return
 		}
@@ -437,7 +445,7 @@ func (m *Mbrship) dispatch(kind uint8, ev *core.Event) {
 // membership checks ("the members ignore messages that they may
 // receive from supposedly failed members", §5).
 func (m *Mbrship) receiveData(ev *core.Event) {
-	epoch := ev.Msg.PopUint64()
+	epoch, coord := popViewTag(ev.Msg)
 	seq := ev.Msg.PopUint64()
 	src := ev.Source
 	if m.view != nil && epoch > m.epoch {
@@ -447,6 +455,7 @@ func (m *Mbrship) receiveData(ev *core.Event) {
 		// the message until our view catches up.
 		if len(m.future) < maxFutureBuffer {
 			ev.Msg.PushUint64(seq) // restore the header for replay
+			wire.PushEndpointID(ev.Msg, coord)
 			ev.Msg.PushUint64(epoch)
 			m.future = append(m.future, ev)
 		} else {
@@ -454,7 +463,7 @@ func (m *Mbrship) receiveData(ev *core.Event) {
 		}
 		return
 	}
-	if m.view == nil || epoch != m.epoch || !m.view.Contains(src) || m.suspects[src] {
+	if !m.inCurrentView(epoch, coord) || !m.view.Contains(src) || m.suspects[src] {
 		m.stats.StaleDropped++
 		return
 	}
@@ -577,7 +586,7 @@ func (m *Mbrship) sendSuspects(coord core.EndpointID) {
 	sortIDs(ids)
 	msg := message.New(nil)
 	wire.PushIDList(msg, ids)
-	msg.PushUint64(m.epoch)
+	m.pushViewTag(msg)
 	msg.PushUint8(kSuspect)
 	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: []core.EndpointID{coord}})
 }
@@ -614,7 +623,7 @@ func (m *Mbrship) startFlushRound(forMerge bool) {
 	msg := message.New(nil)
 	wire.PushIDList(msg, failed)
 	msg.PushUint64(m.flushRound)
-	msg.PushUint64(m.epoch)
+	m.pushViewTag(msg)
 	msg.PushUint8(kFlush)
 	dests := m.othersOf(m.survivors())
 	if len(dests) > 0 {
@@ -637,15 +646,15 @@ func (m *Mbrship) failedList() []core.EndpointID {
 // receiveFlush is a member's side of the flush: return all unstable
 // messages, then consent.
 func (m *Mbrship) receiveFlush(ev *core.Event) {
-	epoch := ev.Msg.PopUint64()
+	epoch, viewCoord := popViewTag(ev.Msg)
 	round := ev.Msg.PopUint64()
 	failed := wire.PopIDList(ev.Msg)
 	coord := ev.Source
-	if epoch != m.epoch {
+	if !m.inCurrentView(epoch, viewCoord) {
 		m.stats.StaleDropped++
 		return
 	}
-	if m.view == nil || !m.view.Contains(coord) {
+	if !m.view.Contains(coord) {
 		return
 	}
 	if m.answered[coord] >= round {
@@ -710,7 +719,7 @@ func (m *Mbrship) forwardLog(coord core.EndpointID) {
 		for _, entry := range m.log[origin] {
 			fwd := message.New(entry.msg.Marshal())
 			fwd.PushUint64(entry.seq)
-			fwd.PushUint64(m.epoch)
+			m.pushViewTag(fwd)
 			wire.PushEndpointID(fwd, origin)
 			fwd.PushUint8(kFwd)
 			m.stats.FwdsSent++
@@ -737,9 +746,9 @@ func (m *Mbrship) poolOwnLog() {
 // the message is delivered locally if it has not been yet.
 func (m *Mbrship) receiveFwd(ev *core.Event) {
 	origin := wire.PopEndpointID(ev.Msg)
-	epoch := ev.Msg.PopUint64()
+	epoch, coord := popViewTag(ev.Msg)
 	seq := ev.Msg.PopUint64()
-	if epoch != m.epoch {
+	if !m.inCurrentView(epoch, coord) {
 		m.stats.StaleDropped++
 		return
 	}
@@ -794,9 +803,22 @@ func (m *Mbrship) checkFlushComplete() {
 		if !m.ownFlushDone {
 			m.ownFlushDone = true
 			// Our old view's unstable messages must reach our own
-			// survivors before they move to the union view.
+			// survivors before they move to the union view. The union
+			// coordinator's VIEW is a different sender, so it can
+			// overtake our forwards; hold merge_ready until every
+			// survivor confirms it has the pool (the mark travels the
+			// same FIFO channel as the forwards).
 			m.rebroadcastPool(surv)
-			m.sendMergeReady()
+			m.beginPoolSync(surv)
+		} else if m.poolWait != nil {
+			// A flush restart shrank the survivor set; stop waiting
+			// for acks from the departed.
+			for e := range m.poolWait {
+				if !containsID(surv, e) {
+					delete(m.poolWait, e)
+				}
+			}
+			m.maybeFinishPoolSync()
 		}
 		return
 	}
@@ -829,7 +851,7 @@ func (m *Mbrship) rebroadcastPool(members []core.EndpointID) {
 		e := m.fwdPool[id]
 		fwd := message.New(e.wire)
 		fwd.PushUint64(e.seq)
-		fwd.PushUint64(m.epoch)
+		m.pushViewTag(fwd)
 		wire.PushEndpointID(fwd, e.origin)
 		fwd.PushUint8(kFwd)
 		m.stats.FwdsSent++
@@ -894,6 +916,7 @@ func (m *Mbrship) install(v *core.View) {
 	m.mergePeerEpoch = 0
 	m.mergeReady = false
 	m.ownFlushDone = false
+	m.poolWait = nil
 	m.consentOwed = false
 	m.cancelTimer(&m.flushCancel)
 	m.cancelTimer(&m.mergeCancel)
@@ -922,11 +945,44 @@ func (m *Mbrship) install(v *core.View) {
 	if !m.Primary() {
 		return
 	}
+	m.releasePendingCasts()
+}
+
+// releasePendingCasts re-sends the casts parked while transmissions
+// were blocked. It must run on EVERY transition back to stNormal —
+// view installs, but also abandoned merges — or casts issued after the
+// transition overtake the parked ones and per-sender FIFO breaks.
+func (m *Mbrship) releasePendingCasts() {
 	pending := m.pendingCasts
 	m.pendingCasts = nil
 	for _, msg := range pending {
 		m.castDown(msg)
 	}
+}
+
+// abandonMerge gives up an outgoing merge (target unresponsive,
+// denied, or absorbed into a symmetric attempt). If the merge flush
+// never started, the view is untouched: back to stNormal, and the
+// casts parked while merging resume in the current epoch. But once the
+// grant arrived and the flush round is running, the old epoch is being
+// sealed — members have forwarded their unstable logs — so new casts
+// must NOT re-open it. The flush is demoted to a plain one instead: it
+// completes, installs the successor view, and install() releases the
+// pending casts into the new epoch.
+func (m *Mbrship) abandonMerge() {
+	m.mergeTarget = core.EndpointID{}
+	m.mergeReady = false
+	m.ownFlushDone = false
+	m.poolWait = nil
+	m.mergeTries = 0
+	m.cancelTimer(&m.mergeCancel)
+	if m.flushCoord == m.Ctx.Self() && m.okFrom != nil {
+		m.state = stFlushing
+		m.checkFlushComplete() // may already be complete: install now
+		return
+	}
+	m.state = stNormal
+	m.releasePendingCasts()
 }
 
 // armFlushTimer (re)arms the watchdog that suspects a dead flush
@@ -986,7 +1042,7 @@ func (m *Mbrship) gossipTick() {
 	msg := message.New(nil)
 	wire.PushCounts(msg, counts)
 	wire.PushIDList(msg, origins)
-	msg.PushUint64(m.epoch)
+	m.pushViewTag(msg)
 	msg.PushUint8(kGossip)
 	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: m.othersOf(m.view.Members)})
 	// Our own vector participates in the stability computation.
@@ -996,10 +1052,10 @@ func (m *Mbrship) gossipTick() {
 
 // receiveGossip merges a peer's delivery vector.
 func (m *Mbrship) receiveGossip(ev *core.Event) {
-	epoch := ev.Msg.PopUint64()
+	epoch, coord := popViewTag(ev.Msg)
 	origins := wire.PopIDList(ev.Msg)
 	counts := wire.PopCounts(ev.Msg)
-	if epoch != m.epoch || len(origins) != len(counts) {
+	if !m.inCurrentView(epoch, coord) || len(origins) != len(counts) {
 		return
 	}
 	m.mergeAcks(ev.Source, origins, counts)
@@ -1094,19 +1150,22 @@ func (m *Mbrship) armMergeTimer() {
 			// the merge). Give up; the MERGE layer or application
 			// will try again from scratch.
 			target := m.mergeTarget
-			m.state = stNormal
-			m.mergeTarget = core.EndpointID{}
-			m.mergeReady = false
-			m.ownFlushDone = false
-			m.mergeTries = 0
+			m.abandonMerge()
 			m.Ctx.Up(&core.Event{Type: core.UMergeDenied, Contact: target,
 				Reason: "merge target unresponsive"})
 			return
 		}
 		if m.ownFlushDone {
-			// Grant received and our flush finished: the target may
-			// have missed merge_ready; resend it.
-			m.sendMergeReady()
+			if len(m.poolWait) > 0 {
+				// Still waiting for survivors to confirm the pool
+				// rebroadcast; re-mark the laggards rather than
+				// bypassing the gate with an early merge_ready.
+				m.sendPoolMark()
+			} else {
+				// Grant received and our flush finished: the target
+				// may have missed merge_ready; resend it.
+				m.sendMergeReady()
+			}
 		} else if m.mergeReady {
 			// Grant received; flush still in progress — keep waiting.
 		} else {
@@ -1146,11 +1205,13 @@ func (m *Mbrship) receiveMergeReq(ev *core.Event) {
 		// while we are merging outward are denied — absorbing a third
 		// party here would strand the coordinator we already asked.
 		if requester == m.mergeTarget && m.Ctx.Self().Older(requester) {
-			m.state = stNormal
-			m.mergeTarget = core.EndpointID{}
-			m.mergeReady = false
-			m.ownFlushDone = false
-			m.cancelTimer(&m.mergeCancel)
+			m.abandonMerge()
+			if m.state != stNormal {
+				// Our merge flush had already started; it must run to
+				// a view install before we can absorb anyone.
+				deny("busy finishing flush")
+				return
+			}
 		} else {
 			deny("busy merging elsewhere")
 			return
@@ -1220,11 +1281,7 @@ func (m *Mbrship) receiveMergeDeny(ev *core.Event) {
 	if m.state != stMergingOut || ev.Source != m.mergeTarget {
 		return
 	}
-	m.state = stNormal
-	m.mergeTarget = core.EndpointID{}
-	m.mergeReady = false
-	m.ownFlushDone = false
-	m.cancelTimer(&m.mergeCancel)
+	m.abandonMerge()
 	m.Ctx.Up(&core.Event{Type: core.UMergeDenied, Contact: ev.Source, Reason: reason})
 }
 
@@ -1252,6 +1309,80 @@ func (m *Mbrship) receiveMergeReady(ev *core.Event) {
 	m.checkFlushComplete()
 }
 
+// beginPoolSync gates merge_ready behind a pool-acknowledgement round.
+// The rebroadcast forwards and the union coordinator's VIEW come from
+// different senders, so FIFO does not order them against each other; a
+// survivor that installs the union view first would stale-drop the
+// late forwards and virtual synchrony would break. The MARK travels
+// the same FIFO channel as the forwards, so its ACK proves the whole
+// pool arrived. With nothing pooled (or nobody else surviving) there
+// is nothing to race and merge_ready goes out at once.
+func (m *Mbrship) beginPoolSync(surv []core.EndpointID) {
+	others := m.othersOf(surv)
+	if len(m.fwdPool) == 0 || len(others) == 0 {
+		m.sendMergeReady()
+		return
+	}
+	m.poolWait = make(map[core.EndpointID]bool, len(others))
+	for _, e := range others {
+		m.poolWait[e] = true
+	}
+	m.sendPoolMark()
+}
+
+// sendPoolMark (re)sends the end-of-rebroadcast marker to every
+// survivor whose ack is still outstanding.
+func (m *Mbrship) sendPoolMark() {
+	dests := make([]core.EndpointID, 0, len(m.poolWait))
+	for e := range m.poolWait {
+		dests = append(dests, e)
+	}
+	if len(dests) == 0 {
+		return
+	}
+	sortIDs(dests)
+	msg := message.New(nil)
+	msg.PushUint64(m.flushRound)
+	msg.PushUint8(kPoolMark)
+	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: dests})
+}
+
+// receivePoolMark acknowledges a pool marker. The reply is
+// unconditional: FIFO delivery below us guarantees every forward the
+// coordinator sent before the mark has already been processed here,
+// whatever state or epoch we have moved to since.
+func (m *Mbrship) receivePoolMark(ev *core.Event) {
+	round := ev.Msg.PopUint64()
+	ack := message.New(nil)
+	ack.PushUint64(round)
+	ack.PushUint8(kPoolAck)
+	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: ack, Dests: []core.EndpointID{ev.Source}})
+}
+
+// receivePoolAck retires one survivor's outstanding pool ack. Round
+// numbers are not matched: the forwards were all sent before the
+// oldest mark, so any ack from the peer proves receipt.
+func (m *Mbrship) receivePoolAck(ev *core.Event) {
+	ev.Msg.PopUint64()
+	if m.state != stMergingOut || m.poolWait == nil {
+		return
+	}
+	delete(m.poolWait, ev.Source)
+	m.maybeFinishPoolSync()
+}
+
+// maybeFinishPoolSync sends merge_ready once the last pool ack is in.
+func (m *Mbrship) maybeFinishPoolSync() {
+	if m.poolWait == nil || len(m.poolWait) != 0 {
+		return
+	}
+	if m.state != stMergingOut || !m.ownFlushDone {
+		return
+	}
+	m.poolWait = nil
+	m.sendMergeReady()
+}
+
 // ---------------------------------------------------------------------------
 // Leave, destroy, helpers
 
@@ -1262,7 +1393,7 @@ func (m *Mbrship) announceLeave() {
 		return
 	}
 	msg := message.New(nil)
-	msg.PushUint64(m.epoch)
+	m.pushViewTag(msg)
 	msg.PushUint8(kLeave)
 	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: m.othersOf(m.view.Members)})
 }
@@ -1311,6 +1442,39 @@ func (m *Mbrship) logSize() int {
 
 func sortIDs(ids []core.EndpointID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Older(ids[j]) })
+}
+
+// pushViewTag stamps a message with the full identity of the sender's
+// current view: the epoch AND the coordinator that installed it.
+// Concurrent partitioned views can share a sequence number, so the
+// bare epoch does not identify a view — a cast tagged with the number
+// alone leaks into same-seq views on the other side of a partition and
+// breaks virtually synchronous delivery.
+func (m *Mbrship) pushViewTag(msg *message.Message) {
+	wire.PushEndpointID(msg, m.view.ID.Coord)
+	msg.PushUint64(m.epoch)
+}
+
+// popViewTag reads a view tag pushed by pushViewTag.
+func popViewTag(msg *message.Message) (epoch uint64, coord core.EndpointID) {
+	epoch = msg.PopUint64()
+	coord = wire.PopEndpointID(msg)
+	return epoch, coord
+}
+
+// inCurrentView reports whether a view tag names exactly the view this
+// member is in now.
+func (m *Mbrship) inCurrentView(epoch uint64, coord core.EndpointID) bool {
+	return m.view != nil && epoch == m.epoch && coord == m.view.ID.Coord
+}
+
+func containsID(ids []core.EndpointID, e core.EndpointID) bool {
+	for _, x := range ids {
+		if x == e {
+			return true
+		}
+	}
+	return false
 }
 
 func unionIDs(a, b []core.EndpointID) []core.EndpointID {

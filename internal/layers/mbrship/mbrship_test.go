@@ -64,6 +64,7 @@ func TestStaleEpochDataDropped(t *testing.T) {
 	// member must not surface.
 	m := message.New([]byte("ghost"))
 	m.PushUint64(7) // seq
+	pushID(m, peer) // view coordinator
 	m.PushUint64(0) // epoch
 	m.PushUint8(1)  // kData
 	h.InjectUp(&core.Event{Type: core.UCast, Msg: m, Source: peer})
@@ -84,6 +85,7 @@ func TestFutureEpochDataBufferedUntilView(t *testing.T) {
 	// Data from epoch 2 arrives before we install view 2.
 	m := message.New([]byte("early"))
 	m.PushUint64(1) // seq
+	pushID(m, peer) // view coordinator: peer announces view 2 below
 	m.PushUint64(2) // epoch
 	m.PushUint8(1)  // kData
 	h.InjectUp(&core.Event{Type: core.UCast, Msg: m, Source: peer})
@@ -173,6 +175,12 @@ func TestGossipSkipsSingleton(t *testing.T) {
 	for _, ev := range h.DownOfType(core.DSend) {
 		t.Fatalf("singleton member sent control traffic: %v", ev)
 	}
+}
+
+// pushID mirrors wire.PushEndpointID for test message construction.
+func pushID(m *message.Message, id core.EndpointID) {
+	m.PushString(id.Site)
+	m.PushUint64(id.Birth)
 }
 
 // pushView mirrors wire.PushView for test message construction.

@@ -77,7 +77,7 @@ type Network struct {
 	rng       *rand.Rand
 	endpoints map[core.EndpointID]*core.Endpoint
 	order     []core.EndpointID // attach order, for deterministic fan-out
-	links     map[pair]Link
+	links     map[pair]Link     // directed overrides: pair{from, to}
 	def       Link
 	crashed   map[core.EndpointID]bool
 	partition map[core.EndpointID]int // partition id; absent = 0
@@ -87,13 +87,6 @@ type Network struct {
 }
 
 type pair struct{ a, b core.EndpointID }
-
-func normPair(a, b core.EndpointID) pair {
-	if b.Older(a) {
-		a, b = b, a
-	}
-	return pair{a, b}
-}
 
 // New creates a network.
 func New(cfg Config) *Network {
@@ -125,11 +118,36 @@ func (n *Network) NewEndpoint(site string) *core.Endpoint {
 	return ep
 }
 
-// SetLink overrides the link between a and b (symmetric).
+// SetLink overrides the link between a and b in both directions — the
+// symmetric wrapper around SetLinkDirected. Per-pair overrides take
+// precedence over DefaultLink; an explicit zero-value override means
+// "perfect link", not "no override" (use ClearLink to fall back to the
+// default).
 func (n *Network) SetLink(a, b core.EndpointID, l Link) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.links[normPair(a, b)] = l
+	n.links[pair{a, b}] = l
+	n.links[pair{b, a}] = l
+}
+
+// SetLinkDirected overrides the link for packets travelling from a to
+// b only; the reverse direction keeps its current behaviour. Chaos
+// schedules use it to model asymmetric faults (a hears b while b is
+// deaf to a). Precedence per direction: directed override, then
+// DefaultLink.
+func (n *Network) SetLinkDirected(a, b core.EndpointID, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[pair{a, b}] = l
+}
+
+// ClearLink removes any override between a and b (both directions);
+// the pair falls back to DefaultLink.
+func (n *Network) ClearLink(a, b core.EndpointID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, pair{a, b})
+	delete(n.links, pair{b, a})
 }
 
 // SetDefaultLink replaces the default link applied to all pairs
@@ -140,8 +158,8 @@ func (n *Network) SetDefaultLink(l Link) {
 	n.def = l
 }
 
-func (n *Network) linkFor(a, b core.EndpointID) Link {
-	if l, ok := n.links[normPair(a, b)]; ok {
+func (n *Network) linkFor(from, to core.EndpointID) Link {
+	if l, ok := n.links[pair{from, to}]; ok {
 		return l
 	}
 	return n.def
@@ -158,6 +176,32 @@ func (n *Network) Crash(id core.EndpointID) {
 	n.mu.Unlock()
 	if ep != nil {
 		ep.Destroy()
+	}
+}
+
+// Detach removes a (typically crashed) endpoint from the network
+// entirely: it stops counting as a broadcast target and its fault
+// bookkeeping is forgotten. Chaos schedules detach a crashed
+// incarnation when the site rejoins with a fresh endpoint, so repeated
+// crash/recover cycles do not grow the fan-out set without bound.
+// Detaching a live endpoint crashes it first.
+func (n *Network) Detach(id core.EndpointID) {
+	n.Crash(id)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, id)
+	delete(n.crashed, id)
+	delete(n.partition, id)
+	for i, e := range n.order {
+		if e == id {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+	for p := range n.links {
+		if p.a == id || p.b == id {
+			delete(n.links, p)
+		}
 	}
 }
 

@@ -153,6 +153,69 @@ func TestCrashSilencesEndpoint(t *testing.T) {
 	}
 }
 
+func TestDirectedLinkIsAsymmetric(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 11})
+	a, la := attach(t, net, "a")
+	b, lb := attach(t, net, "b")
+	// a->b is dead; b->a stays perfect.
+	net.SetLinkDirected(a.ID(), b.ID(), netsim.Link{LossRate: 1})
+	send(a, "a-to-b", b.ID())
+	send(b, "b-to-a", a.ID())
+	net.RunFor(10 * time.Millisecond)
+	if len(lb.got) != 0 {
+		t.Fatalf("b heard %v through a dead directed link", lb.got)
+	}
+	if len(la.got) != 1 || la.got[0] != "b-to-a" {
+		t.Fatalf("a got %v, want the reverse direction intact", la.got)
+	}
+}
+
+func TestSetLinkIsSymmetricWrapper(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 12})
+	a, la := attach(t, net, "a")
+	b, lb := attach(t, net, "b")
+	net.SetLink(a.ID(), b.ID(), netsim.Link{LossRate: 1})
+	send(a, "x", b.ID())
+	send(b, "y", a.ID())
+	net.RunFor(10 * time.Millisecond)
+	if len(la.got) != 0 || len(lb.got) != 0 {
+		t.Fatalf("symmetric override leaked: a=%v b=%v", la.got, lb.got)
+	}
+	// ClearLink falls back to the (perfect) default in both directions.
+	net.ClearLink(a.ID(), b.ID())
+	send(a, "x2", b.ID())
+	send(b, "y2", a.ID())
+	net.RunFor(10 * time.Millisecond)
+	if len(la.got) != 1 || len(lb.got) != 1 {
+		t.Fatalf("after ClearLink: a=%v b=%v", la.got, lb.got)
+	}
+}
+
+func TestDetachRemovesBroadcastTarget(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 13})
+	a, _ := attach(t, net, "a")
+	b, lb := attach(t, net, "b")
+	net.Crash(b.ID())
+	net.Detach(b.ID())
+	send(a, "broadcast") // empty dests = all attached endpoints
+	net.RunFor(10 * time.Millisecond)
+	if len(lb.got) != 0 {
+		t.Fatal("detached endpoint received traffic")
+	}
+	// Blocked counts nothing for the detached id on broadcast: it is no
+	// longer a target at all.
+	if st := net.Stats(); st.Blocked != 0 {
+		t.Fatalf("broadcast to detached endpoint counted Blocked=%d", st.Blocked)
+	}
+	// A replacement incarnation at the same site works normally.
+	_, lb2 := attach(t, net, "b")
+	send(a, "again")
+	net.RunFor(10 * time.Millisecond)
+	if len(lb2.got) != 1 || lb2.got[0] != "again" {
+		t.Fatalf("recovered incarnation got %v", lb2.got)
+	}
+}
+
 func TestTimersFireInOrder(t *testing.T) {
 	net := netsim.New(netsim.Config{Seed: 7})
 	var order []int

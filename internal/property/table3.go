@@ -54,6 +54,12 @@ var Table3 = []LayerSpec{
 	{Name: "CAUSAL", Requires: P3 | P8 | P9 | P13 | P15, Provides: P5, Inherits: reliable, Cost: 2},
 	{Name: "SAFE", Requires: P3 | P8 | P9 | P14 | P15, Provides: P7, Inherits: reliable, Cost: 2},
 	{Name: "MERGE", Requires: P3 | P4 | P8 | P9 | P10 | P11 | P12 | P15, Provides: P16, Inherits: reliable, Cost: 1},
+	// HBEAT is placement-agnostic: it runs over raw best effort (P1) or
+	// over reliable FIFO (P3,P4) equally well — its heartbeats are
+	// periodic and loss-tolerant by construction. The calculus cannot
+	// express "P1 or better", so it requires nothing; it transforms no
+	// traffic and inherits everything.
+	{Name: "HBEAT", Requires: 0, Provides: 0, Inherits: All, Cost: 1},
 	{Name: "CHKSUM", Requires: P1, Provides: 0, Inherits: All, Cost: 1},
 	{Name: "SIGN", Requires: P1, Provides: 0, Inherits: All, Cost: 2},
 	{Name: "CRYPT", Requires: P1, Provides: 0, Inherits: All, Cost: 3},

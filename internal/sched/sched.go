@@ -13,6 +13,7 @@ package sched
 
 import (
 	"sync"
+	"time"
 )
 
 // Monitor treats a protected object as a monitor: only one goroutine
@@ -69,6 +70,33 @@ func (e *EventCounter) Await(v uint64) {
 	for e.value < v {
 		e.cond.Wait()
 	}
+}
+
+// AwaitTimeout blocks until the counter reaches at least v or the
+// timeout elapses, reporting whether the value was reached. Wall-clock
+// tests use it to bound how long a condition may take without turning
+// a missed condition into a hung test.
+func (e *EventCounter) AwaitTimeout(v uint64, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	// sync.Cond has no timed wait; a timer kicks the waiters loose at
+	// the deadline. It takes the lock before broadcasting so the wakeup
+	// cannot slip into the gap between a waiter's deadline check and
+	// its cond.Wait.
+	kick := time.AfterFunc(d, func() {
+		e.mu.Lock()
+		e.mu.Unlock() //nolint:staticcheck // empty section: lock is the fence
+		e.cond.Broadcast()
+	})
+	defer kick.Stop()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.value < v {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		e.cond.Wait()
+	}
+	return true
 }
 
 // Sequencer assigns each upcall a ticket and admits holders into a

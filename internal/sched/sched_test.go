@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMonitorMutualExclusion(t *testing.T) {
@@ -49,6 +50,40 @@ func TestEventCounterAwait(t *testing.T) {
 	<-done
 	if got := e.Read(); got != 10 {
 		t.Errorf("Read = %d, want 10", got)
+	}
+}
+
+func TestEventCounterAwaitTimeout(t *testing.T) {
+	e := NewEventCounter()
+
+	// Already satisfied: returns true immediately.
+	if !e.AwaitTimeout(0, time.Millisecond) {
+		t.Error("AwaitTimeout(0) = false, want true")
+	}
+
+	// Never satisfied: returns false after the deadline instead of
+	// hanging.
+	start := time.Now()
+	if e.AwaitTimeout(1, 20*time.Millisecond) {
+		t.Error("AwaitTimeout on a stuck counter = true, want false")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("AwaitTimeout returned before its deadline")
+	}
+
+	// Satisfied mid-wait: returns true promptly.
+	done := make(chan bool, 1)
+	go func() { done <- e.AwaitTimeout(3, 5*time.Second) }()
+	for i := 0; i < 3; i++ {
+		e.Advance()
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Error("AwaitTimeout = false after the counter advanced")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AwaitTimeout did not wake on Advance")
 	}
 }
 

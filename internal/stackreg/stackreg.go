@@ -21,6 +21,7 @@ import (
 	"horus/internal/layers/flush"
 	"horus/internal/layers/frag"
 	"horus/internal/layers/gkey"
+	"horus/internal/layers/hbeat"
 	"horus/internal/layers/mbrship"
 	"horus/internal/layers/merge"
 	"horus/internal/layers/mlog"
@@ -60,6 +61,7 @@ func Registry() map[string]core.Factory {
 		"COMPRESS": compress.New,
 		"FC":       fc.New,
 		"GKEY":     gkey.New(demoKey),
+		"HBEAT":    hbeat.New,
 		"MBRSHIP":  mbrship.New,
 		"BMS":      bms.NewAutoConsent(),
 		"FLUSH":    flush.New,

@@ -18,6 +18,7 @@ package udpnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -30,16 +31,42 @@ import (
 // below this.
 const maxDatagram = 64 * 1024
 
+// maxGroupAddr bounds the group-address header field. The length
+// prefix is a uint16, so a corrupted or hostile datagram can claim a
+// 64 KiB "group name"; no real group address is anywhere near that,
+// and rejecting early keeps garbage out of the endpoint's demux map.
+const maxGroupAddr = 256
+
+// ErrOversized reports a send dropped because the framed packet would
+// not fit in one datagram. Stacks that need bigger messages put FRAG
+// below the sender.
+var ErrOversized = errors.New("udpnet: packet exceeds max datagram size")
+
+// ErrBadGroup reports a send dropped because the group address is too
+// long for the wire header.
+var ErrBadGroup = errors.New("udpnet: group address exceeds header limit")
+
+// Stats counts transport events that the fire-and-forget
+// core.Transport.Send interface cannot report inline.
+type Stats struct {
+	SendErrors uint64 // WriteToUDP failures
+	Oversized  uint64 // sends dropped: packet or group address too big
+	Malformed  uint64 // inbound datagrams that failed header parsing
+	Truncated  uint64 // inbound datagrams cut off at the buffer size
+}
+
 // Transport is one endpoint's UDP attachment. It implements
 // core.Transport.
 type Transport struct {
-	mu     sync.Mutex
-	conn   *net.UDPConn
-	self   core.EndpointID
-	peers  map[core.EndpointID]*net.UDPAddr
-	ep     *core.Endpoint
-	closed bool
-	start  time.Time
+	mu        sync.Mutex
+	conn      *net.UDPConn
+	self      core.EndpointID
+	peers     map[core.EndpointID]*net.UDPAddr
+	ep        *core.Endpoint
+	closed    bool
+	start     time.Time
+	stats     Stats
+	onSendErr func(dest core.EndpointID, err error)
 }
 
 // Listen opens a UDP socket for an endpoint with the given identity.
@@ -84,16 +111,57 @@ func (t *Transport) NewEndpoint() *core.Endpoint {
 	return ep
 }
 
-// readLoop dispatches inbound datagrams to the endpoint.
+// SetSendErrorHook registers a callback invoked whenever a send is
+// dropped or fails at the socket. core.Transport.Send has no error
+// return — the network model is best-effort, so errors ARE loss — but
+// operators still want to see them; the hook (and Stats) surface what
+// the interface swallows. The callback runs on the sending goroutine;
+// keep it fast. A zero dest means the failure was not per-destination
+// (e.g. an oversized broadcast rejected before addressing).
+func (t *Transport) SetSendErrorHook(fn func(dest core.EndpointID, err error)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onSendErr = fn
+}
+
+// Stats returns a snapshot of the transport's error counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *Transport) sendError(dest core.EndpointID, err error) {
+	t.mu.Lock()
+	t.stats.SendErrors++
+	fn := t.onSendErr
+	t.mu.Unlock()
+	if fn != nil {
+		fn(dest, err)
+	}
+}
+
+// readLoop dispatches inbound datagrams to the endpoint. The buffer
+// is one byte larger than the biggest legal datagram so truncation by
+// the kernel is detectable instead of silently corrupting the tail.
 func (t *Transport) readLoop(ep *core.Endpoint) {
-	buf := make([]byte, maxDatagram)
+	buf := make([]byte, maxDatagram+1)
 	for {
 		n, _, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
+		if n > maxDatagram {
+			t.mu.Lock()
+			t.stats.Truncated++
+			t.mu.Unlock()
+			continue
+		}
 		group, payload, ok := decode(buf[:n])
 		if !ok {
+			t.mu.Lock()
+			t.stats.Malformed++
+			t.mu.Unlock()
 			continue
 		}
 		ep.Deliver(group, payload)
@@ -101,24 +169,47 @@ func (t *Transport) readLoop(ep *core.Endpoint) {
 }
 
 // Send implements core.Transport: one datagram per destination. Empty
-// dests broadcasts to every known peer.
+// dests broadcasts to every known peer. Errors cannot be returned
+// through this interface; they are counted in Stats and reported via
+// SetSendErrorHook.
 func (t *Transport) Send(from core.EndpointID, group core.GroupAddr, dests []core.EndpointID, wire []byte) {
+	if len(group) > maxGroupAddr {
+		t.mu.Lock()
+		t.stats.Oversized++
+		fn := t.onSendErr
+		t.mu.Unlock()
+		if fn != nil {
+			fn(core.EndpointID{}, ErrBadGroup)
+		}
+		return
+	}
 	pkt := encode(group, wire)
 	if len(pkt) > maxDatagram {
 		// Oversized: dropped like any best-effort network would; FRAG
 		// exists for this.
+		t.mu.Lock()
+		t.stats.Oversized++
+		fn := t.onSendErr
+		t.mu.Unlock()
+		if fn != nil {
+			fn(core.EndpointID{}, ErrOversized)
+		}
 		return
 	}
+	type target struct {
+		id   core.EndpointID
+		addr *net.UDPAddr
+	}
 	t.mu.Lock()
-	var addrs []*net.UDPAddr
+	var targets []target
 	if len(dests) == 0 {
-		for _, a := range t.peers {
-			addrs = append(addrs, a)
+		for id, a := range t.peers {
+			targets = append(targets, target{id, a})
 		}
 	} else {
 		for _, d := range dests {
 			if a, ok := t.peers[d]; ok {
-				addrs = append(addrs, a)
+				targets = append(targets, target{d, a})
 			}
 		}
 	}
@@ -127,9 +218,11 @@ func (t *Transport) Send(from core.EndpointID, group core.GroupAddr, dests []cor
 	if closed {
 		return
 	}
-	for _, a := range addrs {
-		// Best effort: errors are loss.
-		_, _ = t.conn.WriteToUDP(pkt, a)
+	for _, tgt := range targets {
+		// Best effort: an error is loss, but a counted, reportable one.
+		if _, err := t.conn.WriteToUDP(pkt, tgt.addr); err != nil {
+			t.sendError(tgt.id, err)
+		}
 	}
 }
 
@@ -160,13 +253,15 @@ func encode(group core.GroupAddr, wire []byte) []byte {
 	return out
 }
 
-// decode parses a framed packet.
+// decode parses a framed packet, rejecting truncated headers (length
+// prefix promising more bytes than the datagram holds) and oversized
+// ones (group-address field beyond maxGroupAddr).
 func decode(pkt []byte) (core.GroupAddr, []byte, bool) {
 	if len(pkt) < 2 {
 		return "", nil, false
 	}
 	gl := int(binary.BigEndian.Uint16(pkt))
-	if 2+gl > len(pkt) {
+	if gl > maxGroupAddr || 2+gl > len(pkt) {
 		return "", nil, false
 	}
 	group := core.GroupAddr(pkt[2 : 2+gl])

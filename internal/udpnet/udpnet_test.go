@@ -2,6 +2,7 @@ package udpnet_test
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -9,9 +10,11 @@ import (
 	"horus/internal/core"
 	"horus/internal/layers/com"
 	"horus/internal/layers/frag"
+	"horus/internal/layers/hbeat"
 	"horus/internal/layers/mbrship"
 	"horus/internal/layers/nak"
 	"horus/internal/message"
+	"horus/internal/sched"
 	"horus/internal/udpnet"
 )
 
@@ -207,5 +210,191 @@ func TestUDPLargeMessage(t *testing.T) {
 	mb.mu.Unlock()
 	if len(got) != len(big) || got != string(big) {
 		t.Fatalf("large message corrupted: len %d vs %d", len(got), len(big))
+	}
+}
+
+// hbeatStack puts HBEAT below MBRSHIP with NAK's own silence suspicion
+// disabled, so the heartbeat layer is the only failure detector.
+func hbeatStack() core.StackSpec {
+	return core.StackSpec{
+		mbrship.NewWith(
+			mbrship.WithGossipPeriod(20*time.Millisecond),
+			mbrship.WithFlushTimeout(300*time.Millisecond),
+		),
+		hbeat.NewWith(
+			hbeat.WithPeriod(25*time.Millisecond),
+			hbeat.WithMinTimeout(100*time.Millisecond),
+			hbeat.WithMaxTimeout(400*time.Millisecond),
+		),
+		nak.NewWith(
+			nak.WithStatusPeriod(10*time.Millisecond),
+			nak.WithSuspectAfter(0),
+		),
+		com.New,
+	}
+}
+
+// TestHeartbeatDetectsCrashOverUDP is the real-socket twin of the
+// netsim detection-bound test: HBEAT alone (no manual PROBLEM
+// injection, NAK suspicion off) must notice a crashed peer over
+// genuine UDP and drive MBRSHIP to flush it out, within a wall-clock
+// bound asserted via sched.EventCounter.AwaitTimeout.
+func TestHeartbeatDetectsCrashOverUDP(t *testing.T) {
+	ids := []core.EndpointID{
+		{Site: "a", Birth: 1},
+		{Site: "b", Birth: 2},
+		{Site: "c", Birth: 3},
+	}
+	transports := make([]*udpnet.Transport, len(ids))
+	for i, id := range ids {
+		tr, err := udpnet.Listen("127.0.0.1:0", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		transports[i] = tr
+	}
+	for _, ti := range transports {
+		for j, tj := range transports {
+			ti.AddPeer(ids[j], tj.Addr())
+		}
+	}
+
+	// Survivors advance this counter whenever they install the
+	// post-crash view {a, b}.
+	shrunk := sched.NewEventCounter()
+	members := make([]*member, len(ids))
+	groups := make([]*core.Group, len(ids))
+	for i, tr := range transports {
+		i := i
+		members[i] = &member{}
+		inner := members[i].handler()
+		handler := func(ev *core.Event) {
+			inner(ev)
+			if i < 2 && ev.Type == core.UView &&
+				ev.View.Size() == 2 && !ev.View.Contains(ids[2]) {
+				shrunk.Advance()
+			}
+		}
+		g, err := tr.NewEndpoint().Join("hb-grp", hbeatStack(), handler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = g
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		formed := true
+		for i := 1; i < len(groups); i++ {
+			if members[i].viewSize() < len(ids) {
+				formed = false
+				groups[i].Merge(ids[0])
+			}
+		}
+		if formed && members[0].viewSize() == len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("formation timed out: sizes %d/%d/%d",
+				members[0].viewSize(), members[1].viewSize(), members[2].viewSize())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Crash c: close its socket. Nothing announces the failure; only
+	// heartbeat silence can reveal it.
+	transports[2].Close()
+
+	// maxTimeout (400ms) + sweep period + flush rounds, with generous
+	// slack for loaded CI machines.
+	const bound = 8 * time.Second
+	if !shrunk.AwaitTimeout(2, bound) {
+		t.Fatalf("survivors did not install {a,b} within %v: sizes %d/%d",
+			bound, members[0].viewSize(), members[1].viewSize())
+	}
+}
+
+// TestMalformedAndTruncatedCounted feeds the reader hostile datagrams:
+// garbage headers are counted as malformed, and nothing reaches the
+// endpoint or crashes the reader.
+func TestMalformedAndTruncatedCounted(t *testing.T) {
+	id := core.EndpointID{Site: "x", Birth: 1}
+	tr, err := udpnet.Listen("127.0.0.1:0", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.NewEndpoint()
+
+	src, err := net.DialUDP("udp", nil, tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for _, pkt := range [][]byte{
+		{0xFF},             // shorter than the length prefix
+		{0xFF, 0xFF},       // header promises 65535 group bytes
+		{0x00, 0x09, 'g'},  // promises 9, carries 1
+		{0x10, 0x00, 0, 0}, // group length beyond the sanity cap
+	} {
+		if _, err := src.Write(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Stats().Malformed < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("malformed datagrams counted = %d, want 4", tr.Stats().Malformed)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSendErrorsSurfaced: the fire-and-forget Send interface reports
+// failures through the hook and counters instead of swallowing them.
+func TestSendErrorsSurfaced(t *testing.T) {
+	id := core.EndpointID{Site: "x", Birth: 1}
+	tr, err := udpnet.Listen("127.0.0.1:0", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	var mu sync.Mutex
+	var hookDests []core.EndpointID
+	var hookErrs []error
+	tr.SetSendErrorHook(func(dest core.EndpointID, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		hookDests = append(hookDests, dest)
+		hookErrs = append(hookErrs, err)
+	})
+
+	// Oversized payload: dropped, counted, reported.
+	big := make([]byte, 70*1024)
+	tr.Send(id, "grp", nil, big)
+	if got := tr.Stats().Oversized; got != 1 {
+		t.Fatalf("Oversized = %d, want 1", got)
+	}
+
+	// Socket-level write error: port 0 is unroutable.
+	bad := core.EndpointID{Site: "bad", Birth: 9}
+	tr.AddPeer(bad, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+	tr.Send(id, "grp", []core.EndpointID{bad}, []byte("hi"))
+	if got := tr.Stats().SendErrors; got != 1 {
+		t.Fatalf("SendErrors = %d, want 1", got)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hookErrs) != 2 {
+		t.Fatalf("hook calls = %d, want 2 (%v)", len(hookErrs), hookErrs)
+	}
+	if hookErrs[0] != udpnet.ErrOversized {
+		t.Errorf("first hook error = %v, want ErrOversized", hookErrs[0])
+	}
+	if hookDests[1] != bad {
+		t.Errorf("second hook dest = %v, want %v", hookDests[1], bad)
 	}
 }
