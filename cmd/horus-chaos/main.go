@@ -1,12 +1,22 @@
 // Command horus-chaos runs the chaos soak from the command line: for
-// each seed it forms a simulated cluster, generates a seeded fault
-// schedule (loss ramps, asymmetric links, flapping, crash/recover,
-// rolling partitions), drives a continuous cast workload through it,
-// and then checks every virtual-synchrony invariant over everything
-// every incarnation observed. The whole run is a pure function of the
-// seed, so a failure printed here is replayed exactly with
+// each seed it forms a cluster, generates a seeded fault schedule
+// (loss ramps, asymmetric links, flapping, crash/recover, rolling
+// partitions — plus multi-way splits, anchor crashes, and majority
+// loss with -harsh), drives a continuous cast workload through it, and
+// then checks every virtual-synchrony invariant over everything every
+// incarnation observed.
+//
+// With the default simulated transport the whole run is a pure
+// function of the seed, so a failure printed here is replayed exactly
+// with
 //
 //	horus-chaos -seed N -v
+//
+// With -transport udp the same schedule executes over real loopback
+// UDP sockets through the chaosnet lossy proxy at wall-clock speed;
+// those runs validate the stack against kernel timing and are not
+// replayable, so failures come with transport counters attached
+// instead.
 //
 // The exit status is nonzero if any seed fails to re-converge or
 // violates an invariant, which makes the command usable as a CI soak.
@@ -19,15 +29,19 @@ import (
 	"time"
 
 	"horus/internal/chaos"
+	"horus/internal/chaosnet"
+	"horus/internal/netsim"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 0, "run exactly this seed (0 = run seeds 1..-seeds)")
-		seeds   = flag.Int64("seeds", 20, "number of seeds to sweep when -seed is not given")
+		seed      = flag.Int64("seed", 0, "run exactly this seed (0 = run seeds 1..-seeds)")
+		seeds     = flag.Int64("seeds", 20, "number of seeds to sweep when -seed is not given")
 		members   = flag.Int("members", 4, "cluster size")
-		horizon   = flag.Duration("duration", 5*time.Second, "fault-schedule horizon (virtual time)")
+		horizon   = flag.Duration("duration", 5*time.Second, "fault-schedule horizon (fabric time)")
 		incidents = flag.Int("incidents", 7, "incidents per fault schedule")
+		transport = flag.String("transport", "sim", "transport substrate: sim (deterministic) or udp (real sockets)")
+		harsh     = flag.Bool("harsh", false, "hostile schedules: multi-way partitions, anchor crashes, majority loss; runs the primary-partition stack")
 		verbose   = flag.Bool("v", false, "print the fault schedule and per-seed detail")
 	)
 	flag.Parse()
@@ -44,6 +58,8 @@ func main() {
 		fatalf("-incidents must be at least 1 (got %d)", *incidents)
 	case *seed == 0 && *seeds < 1:
 		fatalf("-seeds must be at least 1 (got %d)", *seeds)
+	case *transport != "sim" && *transport != "udp":
+		fatalf("-transport must be sim or udp (got %q)", *transport)
 	}
 
 	first, last := int64(1), *seeds
@@ -53,7 +69,7 @@ func main() {
 
 	failed := 0
 	for s := first; s <= last; s++ {
-		if !runSeed(s, *members, *horizon, *incidents, *verbose) {
+		if !runSeed(s, *members, *horizon, *incidents, *transport, *harsh, *verbose) {
 			failed++
 		}
 	}
@@ -69,13 +85,25 @@ func fatalf(format string, args ...interface{}) {
 	os.Exit(2)
 }
 
-func runSeed(seed int64, members int, horizon time.Duration, incidents int, verbose bool) bool {
-	cfg := chaos.SoakConfig{Members: members, Horizon: horizon, Incidents: incidents}
+func runSeed(seed int64, members int, horizon time.Duration, incidents int, transport string, harsh, verbose bool) bool {
+	cfg := chaos.SoakConfig{Members: members, Horizon: horizon, Incidents: incidents, Harsh: harsh}
+	var udpFab *chaosnet.Fabric
+	if transport == "udp" {
+		cfg.NewFabric = func(seed int64) chaos.Fabric {
+			udpFab = chaosnet.New(chaosnet.Config{
+				Seed: seed,
+				DefaultLink: netsim.Link{
+					Delay: time.Millisecond, Jitter: 2 * time.Millisecond, LossRate: 0.02,
+				},
+			})
+			return udpFab
+		}
+	}
 	if verbose {
 		// Same (seed, config) as RunSeed uses, so this prints exactly the
 		// schedule the run will execute.
 		sched := chaos.Generate(seed, chaos.GenConfig{
-			Members: members, Horizon: horizon, Incidents: incidents,
+			Members: members, Horizon: horizon, Incidents: incidents, Harsh: harsh,
 		})
 		fmt.Printf("== seed %d: schedule ==\n%s", seed, sched)
 	}
@@ -101,9 +129,25 @@ func runSeed(seed int64, members int, horizon time.Duration, incidents int, verb
 	if !ok {
 		status = "FAIL"
 	}
-	fmt.Printf("seed %-4d %s  (%v wall, %d incarnations)\n",
-		seed, status, time.Since(start).Round(time.Millisecond), incarnations(c))
+	fmt.Printf("seed %-4d %s  (%v wall, %d incarnations)%s\n",
+		seed, status, time.Since(start).Round(time.Millisecond), incarnations(c),
+		netStats(udpFab))
 	return ok
+}
+
+// netStats renders the per-seed transport counters for UDP runs: the
+// proxy's fault ledger plus the udpnet error counters. The fabric is
+// built per seed, so every number is already a per-seed delta — a
+// real-socket failure arrives with its transport evidence attached.
+func netStats(f *chaosnet.Fabric) string {
+	if f == nil {
+		return ""
+	}
+	p := f.Stats()
+	t := f.TransportStats()
+	return fmt.Sprintf("  [udp fwd=%d drop=%d block=%d dup=%d garble=%d | sendErr=%d malformed=%d oversized=%d truncated=%d]",
+		p.Forwarded, p.Dropped, p.Blocked, p.Duplicated, p.Garbled,
+		t.SendErrors, t.Malformed, t.Oversized, t.Truncated)
 }
 
 func incarnations(c *chaos.Cluster) int {

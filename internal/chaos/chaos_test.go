@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -90,8 +91,13 @@ func TestGenerateSelfCleaning(t *testing.T) {
 				delete(down, a.A)
 			case KindPartition:
 				partitions++
-				if len(a.Sides[0]) == 0 || len(a.Sides[1]) == 0 {
+				if len(a.Sides) < 2 {
 					t.Fatalf("seed %d: degenerate partition %v", seed, a.Sides)
+				}
+				for _, side := range a.Sides {
+					if len(side) == 0 {
+						t.Fatalf("seed %d: empty partition side %v", seed, a.Sides)
+					}
 				}
 			case KindHeal:
 				heals++
@@ -225,5 +231,82 @@ func TestClusterCrashRecoverSmoke(t *testing.T) {
 	}
 	if len(c.Histories) != 4 {
 		t.Fatalf("expected 4 incarnations (3 boots + 1 recover), got %d", len(c.Histories))
+	}
+}
+
+// TestGenerateHarshDeterministic: harsh schedules are equally pure
+// functions of the seed — byte-identical across calls, including the
+// harsh-only incident kinds — and across 50 seeds the hostile
+// repertoire (multi-way splits, anchor crashes, majority loss)
+// actually appears.
+func TestGenerateHarshDeterministic(t *testing.T) {
+	cfg := GenConfig{Members: 5, Horizon: 6 * time.Second, Incidents: 10, Harsh: true}
+	repertoire := map[string]bool{}
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := Generate(seed, cfg), Generate(seed, cfg)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: harsh schedule diverged:\n%s\nvs\n%s", seed, a, b)
+		}
+		for _, act := range a {
+			for _, note := range []string{"way split", "anchor crash", "majority loss"} {
+				if strings.Contains(act.Note, note) {
+					repertoire[note] = true
+				}
+			}
+		}
+	}
+	for _, note := range []string{"way split", "anchor crash", "majority loss"} {
+		if !repertoire[note] {
+			t.Errorf("50 harsh seeds never produced a %q incident", note)
+		}
+	}
+}
+
+// TestGenerateHarshSelfCleaning: harsh schedules stay self-cleaning —
+// every crash (including the anchor's and the majority's) recovers,
+// partitions stay non-degenerate, and the safety tail closes the
+// schedule. Unlike the mild generator, harsh may crash slot 0 and may
+// overlap partitions; what it must never do is leave wreckage behind.
+func TestGenerateHarshSelfCleaning(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		s := Generate(seed, GenConfig{Members: 5, Horizon: 6 * time.Second, Incidents: 10, Harsh: true})
+		down := map[int]bool{}
+		partitions, heals := 0, 0
+		for _, a := range s.Sorted() {
+			switch a.Kind {
+			case KindCrash:
+				if down[a.A] {
+					t.Fatalf("seed %d: slot %d crashed while down", seed, a.A)
+				}
+				down[a.A] = true
+			case KindRecover:
+				if !down[a.A] {
+					t.Fatalf("seed %d: slot %d recovered while up", seed, a.A)
+				}
+				delete(down, a.A)
+			case KindPartition:
+				partitions++
+				if len(a.Sides) < 2 {
+					t.Fatalf("seed %d: degenerate partition %v", seed, a.Sides)
+				}
+				for _, side := range a.Sides {
+					if len(side) == 0 {
+						t.Fatalf("seed %d: empty partition side %v", seed, a.Sides)
+					}
+				}
+			case KindHeal:
+				heals++
+			}
+		}
+		if len(down) != 0 {
+			t.Fatalf("seed %d: schedule leaves slots %v crashed", seed, down)
+		}
+		if heals < partitions {
+			t.Fatalf("seed %d: %d partitions but only %d heals", seed, partitions, heals)
+		}
+		last := s.Sorted()[len(s)-1]
+		if last.Kind != KindClearLink && last.Kind != KindHeal {
+			t.Fatalf("seed %d: schedule ends with %v, want the safety tail", seed, last.Kind)
+		}
 	}
 }

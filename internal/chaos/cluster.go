@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"horus/internal/core"
@@ -24,6 +25,12 @@ type Config struct {
 	// which hides nothing, so callers usually want some delay + loss.
 	Link netsim.Link
 
+	// Fabric is the transport substrate. Nil means the deterministic
+	// simulated fabric built from Seed and Link; pass a
+	// chaosnet.Fabric to run the same cluster over real UDP sockets
+	// at wall-clock speed.
+	Fabric Fabric
+
 	// CastEvery is the workload period: every live member casts one
 	// payload per period. Zero means 70ms.
 	CastEvery time.Duration
@@ -35,6 +42,12 @@ type Config struct {
 	// Stack overrides the default MBRSHIP:HBEAT:NAK:COM stack. Each
 	// call must return a fresh spec.
 	Stack func() core.StackSpec
+
+	// Trace, when set, receives layer diagnostics from every member,
+	// prefixed with the fabric time and the member's slot.incarnation.
+	// Replaying a failing seed with a trace sink is the fastest way to
+	// see the exact protocol exchange behind a violation.
+	Trace func(format string, args ...interface{})
 }
 
 // DefaultStack is the chaos stack: membership over the heartbeat
@@ -62,6 +75,23 @@ func DefaultStack() core.StackSpec {
 	}
 }
 
+// PrimaryStack is DefaultStack with mbrship primary-partition
+// arithmetic enabled for a full group of `members`: minority views are
+// marked non-primary and their casts defer until quorum returns. The
+// harsh soak runs it so majority loss and multi-way partitions
+// exercise the primary flag, not just view plumbing.
+func PrimaryStack(members int) func() core.StackSpec {
+	return func() core.StackSpec {
+		spec := DefaultStack()
+		spec[0] = mbrship.NewWith(
+			mbrship.WithGossipPeriod(40*time.Millisecond),
+			mbrship.WithFlushTimeout(400*time.Millisecond),
+			mbrship.WithPrimaryPartition(members),
+		)
+		return spec
+	}
+}
+
 // member is one slot's current incarnation.
 type member struct {
 	slot int
@@ -73,19 +103,25 @@ type member struct {
 	down bool // crashed, awaiting recover
 }
 
-// Cluster drives a group of members over a seeded simulation, applies
-// fault schedules, runs a cast workload, and keeps trying to re-merge
+// Cluster drives a group of members over a fabric, applies fault
+// schedules, runs a cast workload, and keeps trying to re-merge
 // whatever the faults split apart.
+//
+// On the simulated fabric everything runs on one goroutine; on a
+// wall-clock fabric the workload, reconciler, and fault timers fire
+// concurrently, so the slot table is mutex-guarded and all protocol
+// interaction goes through each endpoint's run-to-completion executor.
 type Cluster struct {
-	Net *netsim.Network
+	fab Fabric
 	cfg Config
 
+	mu        sync.Mutex
 	members   []*member  // by slot; current incarnation
 	Histories []*History // every incarnation that ever lived, in boot order
 }
 
-// NewCluster builds the simulation and boots one endpoint per slot.
-// Call Form to merge them into a single view.
+// NewCluster builds the fabric (if none was supplied) and boots one
+// endpoint per slot. Call Form to merge them into a single view.
 func NewCluster(cfg Config) *Cluster {
 	if cfg.Members < 2 {
 		panic("chaos: need at least 2 members")
@@ -99,21 +135,38 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Stack == nil {
 		cfg.Stack = DefaultStack
 	}
-	c := &Cluster{
-		Net: netsim.New(netsim.Config{Seed: cfg.Seed, DefaultLink: cfg.Link}),
-		cfg: cfg,
+	if cfg.Fabric == nil {
+		cfg.Fabric = NewSimFabric(cfg.Seed, cfg.Link)
 	}
+	c := &Cluster{fab: cfg.Fabric, cfg: cfg}
 	c.members = make([]*member, cfg.Members)
+	c.mu.Lock()
 	for slot := 0; slot < cfg.Members; slot++ {
 		c.boot(slot, 0)
 	}
+	c.mu.Unlock()
 	return c
 }
 
+// Fabric returns the transport substrate the cluster runs over.
+func (c *Cluster) Fabric() Fabric { return c.fab }
+
+// Close releases the fabric (sockets, goroutines). Call it before
+// Check on a wall-clock fabric so histories are quiescent.
+func (c *Cluster) Close() { c.fab.Close() }
+
 // boot creates incarnation inc of the given slot and joins the group.
+// Callers hold c.mu.
 func (c *Cluster) boot(slot, inc int) {
 	site := fmt.Sprintf("s%d", slot)
-	ep := c.Net.NewEndpoint(site)
+	ep := c.fab.NewEndpoint(site)
+	if c.cfg.Trace != nil {
+		trace, slot, inc := c.cfg.Trace, slot, inc
+		ep.SetTrace(func(format string, args ...interface{}) {
+			prefix := fmt.Sprintf("%8v s%d.%d | ", c.fab.Now(), slot, inc)
+			trace(prefix+format, args...)
+		})
+	}
 	h := &History{Slot: slot, Inc: inc, ID: ep.ID()}
 	m := &member{slot: slot, inc: inc, ep: ep, hist: h}
 	g, err := ep.Join("chaos", c.cfg.Stack(), h.handler())
@@ -126,17 +179,18 @@ func (c *Cluster) boot(slot, inc int) {
 }
 
 // id returns the current incarnation's endpoint ID for a slot.
+// Callers hold c.mu.
 func (c *Cluster) id(slot int) core.EndpointID { return c.members[slot].ep.ID() }
 
 // Form merges all members into one full view and returns an error if
 // they fail to converge within the deadline. It also starts the
-// workload and the reconciler, which run until the simulation stops.
+// workload and the reconciler, which run until the fabric stops.
 func (c *Cluster) Form(deadline time.Duration) error {
 	c.startReconciler()
 	c.startWorkload()
-	stop := c.Net.Now() + deadline
-	for c.Net.Now() < stop {
-		c.Net.RunFor(100 * time.Millisecond)
+	stop := c.fab.Now() + deadline
+	for c.fab.Now() < stop {
+		c.fab.RunFor(100 * time.Millisecond)
 		if c.converged() {
 			return nil
 		}
@@ -145,60 +199,94 @@ func (c *Cluster) Form(deadline time.Duration) error {
 }
 
 // startWorkload arms the recurring cast loop: each tick, every live
-// member casts one tagged payload "s<slot>.<inc>-<seq>".
+// member casts one tagged payload "s<slot>.<inc>-<seq>". The payloads
+// are chosen under the cluster lock; the casts themselves run on each
+// member's executor so a wall-clock fabric stays race-free.
 func (c *Cluster) startWorkload() {
 	var tick func()
 	tick = func() {
+		type cast struct {
+			m       *member
+			payload string
+		}
+		c.mu.Lock()
+		casts := make([]cast, 0, len(c.members))
 		for _, m := range c.members {
 			if m.down {
 				continue
 			}
 			m.seq++
-			payload := fmt.Sprintf("s%d.%d-%d", m.slot, m.inc, m.seq)
-			m.g.Cast(message.New([]byte(payload)))
+			casts = append(casts, cast{m, fmt.Sprintf("s%d.%d-%d", m.slot, m.inc, m.seq)})
 		}
-		c.Net.At(c.Net.Now()+c.cfg.CastEvery, tick)
+		c.mu.Unlock()
+		for _, cs := range casts {
+			m, payload := cs.m, cs.payload
+			m.ep.Do(func() { m.g.Cast(message.New([]byte(payload))) })
+		}
+		c.fab.At(c.fab.Now()+c.cfg.CastEvery, tick)
 	}
-	c.Net.At(c.Net.Now()+c.cfg.CastEvery, tick)
+	c.fab.At(c.fab.Now()+c.cfg.CastEvery, tick)
 }
 
 // startReconciler arms the recurring merge loop. Faults tear views
 // apart; the reconciler points every live member that has lost sight
-// of the anchor (the lowest live slot) back at it. Merges denied or
+// of the anchor (the oldest live endpoint) back at it. Merges denied or
 // lost are simply retried next round.
 func (c *Cluster) startReconciler() {
 	var tick func()
 	tick = func() {
-		anchor := c.anchor()
-		if anchor != nil {
+		c.mu.Lock()
+		var merges []*member
+		var aid core.EndpointID
+		if anchor := c.anchor(); anchor != nil {
+			aid = anchor.ep.ID()
 			for _, m := range c.members {
 				if m.down || m == anchor {
 					continue
 				}
-				v := m.g.View()
-				if v == nil || !v.Contains(anchor.ep.ID()) {
-					m.g.Merge(anchor.ep.ID())
+				v := m.hist.Last()
+				if v == nil || !v.Contains(aid) {
+					merges = append(merges, m)
 				}
 			}
 		}
-		c.Net.At(c.Net.Now()+c.cfg.ReconcileEvery, tick)
+		c.mu.Unlock()
+		for _, m := range merges {
+			m := m
+			m.ep.Do(func() { m.g.Merge(aid) })
+		}
+		c.fab.At(c.fab.Now()+c.cfg.ReconcileEvery, tick)
 	}
-	c.Net.At(c.Net.Now()+c.cfg.ReconcileEvery, tick)
+	c.fab.At(c.fab.Now()+c.cfg.ReconcileEvery, tick)
 }
 
-// anchor returns the live member with the lowest slot, or nil.
+// anchor returns the live member with the oldest endpoint, or nil.
+// Oldest — not lowest slot — because MBRSHIP only accepts merge
+// requests at its view's coordinator, the oldest surviving endpoint.
+// A recovered low slot is a young endpoint: pointing merges at it
+// wedges every stray member on "not coordinator" denials, while the
+// oldest live endpoint coordinates whatever view it is in. This is
+// the MERGE layer's age rule, applied by the harness.
+// Callers hold c.mu.
 func (c *Cluster) anchor() *member {
+	var a *member
 	for _, m := range c.members {
-		if !m.down {
-			return m
+		if m.down {
+			continue
+		}
+		if a == nil || m.ep.ID().Older(a.ep.ID()) {
+			a = m
 		}
 	}
-	return nil
+	return a
 }
 
 // converged reports whether every live member's current view contains
-// exactly the live incarnations.
+// exactly the live incarnations. Views are read from the recorded
+// histories, which are the transport-agnostic ground truth.
 func (c *Cluster) converged() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	want := map[core.EndpointID]bool{}
 	live := 0
 	for _, m := range c.members {
@@ -211,7 +299,7 @@ func (c *Cluster) converged() bool {
 		if m.down {
 			continue
 		}
-		v := m.g.View()
+		v := m.hist.Last()
 		if v == nil || v.Size() != live {
 			return false
 		}
@@ -224,24 +312,26 @@ func (c *Cluster) converged() bool {
 	return live > 0
 }
 
-// Apply schedules every action of s, offset from the current virtual
+// Apply schedules every action of s, offset from the current fabric
 // time. Slots are resolved to incarnations at fire time.
 func (c *Cluster) Apply(s Schedule) {
-	base := c.Net.Now()
+	base := c.fab.Now()
 	for _, a := range s.Sorted() {
 		a := a
-		c.Net.At(base+a.At, func() { c.apply(a) })
+		c.fab.At(base+a.At, func() { c.apply(a) })
 	}
 }
 
 func (c *Cluster) apply(a Action) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	switch a.Kind {
 	case KindSetLink:
-		c.Net.SetLink(c.id(a.A), c.id(a.B), a.Link)
+		c.fab.SetLink(c.id(a.A), c.id(a.B), a.Link)
 	case KindSetLinkDirected:
-		c.Net.SetLinkDirected(c.id(a.A), c.id(a.B), a.Link)
+		c.fab.SetLinkDirected(c.id(a.A), c.id(a.B), a.Link)
 	case KindClearLink:
-		c.Net.ClearLink(c.id(a.A), c.id(a.B))
+		c.fab.ClearLink(c.id(a.A), c.id(a.B))
 	case KindCrash:
 		m := c.members[a.A]
 		if m.down {
@@ -249,7 +339,7 @@ func (c *Cluster) apply(a Action) {
 		}
 		m.down = true
 		m.hist.Crashed = true
-		c.Net.Crash(m.ep.ID())
+		c.fab.Crash(m.ep.ID())
 	case KindRecover:
 		m := c.members[a.A]
 		if !m.down {
@@ -259,50 +349,60 @@ func (c *Cluster) apply(a Action) {
 		// detached (its links and fan-out entries die with it) and a
 		// fresh one boots at the same site. The reconciler merges it
 		// back into the group.
-		c.Net.Detach(m.ep.ID())
+		c.fab.Detach(m.ep.ID())
 		c.boot(a.A, m.inc+1)
 	case KindPartition:
-		var sides [2][]core.EndpointID
+		groups := make([][]core.EndpointID, len(a.Sides))
 		for i, slots := range a.Sides {
 			for _, s := range slots {
-				sides[i] = append(sides[i], c.id(s))
+				groups[i] = append(groups[i], c.id(s))
 			}
 		}
-		c.Net.Partition(sides[0], sides[1])
+		c.fab.Partition(groups...)
 	case KindHeal:
-		c.Net.Heal()
+		c.fab.Heal()
 	}
 }
 
-// Run advances the simulation.
-func (c *Cluster) Run(d time.Duration) { c.Net.RunFor(d) }
+// Run advances the fabric.
+func (c *Cluster) Run(d time.Duration) { c.fab.RunFor(d) }
 
 // Settle runs until the cluster has converged on a full live view, in
 // slices of `step`, failing after `deadline`.
 func (c *Cluster) Settle(deadline time.Duration) error {
-	stop := c.Net.Now() + deadline
-	for c.Net.Now() < stop {
-		c.Net.RunFor(100 * time.Millisecond)
+	stop := c.fab.Now() + deadline
+	for c.fab.Now() < stop {
+		c.fab.RunFor(100 * time.Millisecond)
 		if c.converged() {
 			return nil
 		}
 	}
+	c.mu.Lock()
 	var views []string
 	for _, m := range c.members {
-		views = append(views, fmt.Sprintf("s%d.%d:%v", m.slot, m.inc, m.g.View()))
+		views = append(views, fmt.Sprintf("s%d.%d:%v", m.slot, m.inc, m.hist.Last()))
 	}
+	c.mu.Unlock()
 	return fmt.Errorf("chaos: cluster did not re-converge within %v:\n  %s",
 		deadline, strings.Join(views, "\n  "))
 }
 
-// Check runs every invariant checker over the full history set.
-func (c *Cluster) Check() []error { return CheckAll(c.Histories) }
+// Check runs every invariant checker over the full history set. On a
+// wall-clock fabric, Close first so the histories are quiescent.
+func (c *Cluster) Check() []error {
+	c.mu.Lock()
+	hs := append([]*History(nil), c.Histories...)
+	c.mu.Unlock()
+	return CheckAll(hs)
+}
 
 // Digest returns a stable fingerprint of everything every incarnation
 // observed — view chains and delivery streams — for determinism
 // assertions: two runs of the same seed must produce equal digests.
 func (c *Cluster) Digest() string {
+	c.mu.Lock()
 	hs := append([]*History(nil), c.Histories...)
+	c.mu.Unlock()
 	sort.Slice(hs, func(i, j int) bool {
 		if hs[i].Slot != hs[j].Slot {
 			return hs[i].Slot < hs[j].Slot

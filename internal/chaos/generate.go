@@ -13,6 +13,7 @@ type GenConfig struct {
 	Members   int           // cluster size (slots 0..Members-1)
 	Horizon   time.Duration // all incidents start and finish inside [0, Horizon)
 	Incidents int           // how many incidents to attempt to place
+	Harsh     bool          // enable the hostile incident classes (see Generate)
 }
 
 // Generate builds a random fault schedule from a seed. The same
@@ -20,11 +21,20 @@ type GenConfig struct {
 // reproduces exactly.
 //
 // Incidents are self-cleaning — every ramp ends cleared, every crash
-// is recovered, every partition healed — and the generator keeps the
-// chaos survivable: slot 0 is never crashed (it anchors re-merges),
-// at most one member is down at a time, and at most one partition is
-// in force at a time (netsim partitions are global, so overlapping
-// ones would heal each other early).
+// is recovered, every partition healed — and the default generator
+// keeps the chaos survivable: slot 0 is never crashed (it anchors
+// re-merges), at most one member is down at a time, and at most one
+// partition is in force at a time (partitions are global, so
+// overlapping ones would heal each other early).
+//
+// Harsh mode drops the survivability politeness and adds three
+// incident classes: multi-way partitions (three components, forcing
+// multi-way merges on heal), anchor crashes (slot 0 goes down, so the
+// reconciler must re-anchor mid-chaos), and majority loss (half the
+// cluster fail-stops at once, which a primary-partition stack must
+// ride out without minority progress). Harsh partitions also ignore
+// the one-at-a-time spacing: a new split may land while one is held,
+// replacing it — the overlap a real cascading failure produces.
 func Generate(seed int64, cfg GenConfig) Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	var s Schedule
@@ -42,10 +52,14 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 		return a, b
 	}
 
+	kinds := 5
+	if cfg.Harsh {
+		kinds = 8
+	}
 	var crashBusyUntil, partBusyUntil time.Duration
 	for i := 0; i < cfg.Incidents; i++ {
 		start := time.Duration(rng.Int63n(int64(cfg.Horizon * 3 / 4)))
-		switch rng.Intn(5) {
+		switch rng.Intn(kinds) {
 		case 0: // loss ramp on a symmetric link
 			a, b := pair()
 			steps := 3 + rng.Intn(3)
@@ -77,11 +91,11 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 			hold := dur(500*time.Millisecond, 1200*time.Millisecond)
 			s = append(s, CrashRecover(start, hold, a)...)
 			crashBusyUntil = start + hold + 300*time.Millisecond
-		case 4: // partition + heal (one at a time)
-			if start < partBusyUntil {
+		case 4: // partition + heal (one at a time unless harsh)
+			if start < partBusyUntil && !cfg.Harsh {
 				continue
 			}
-			var sides [2][]int
+			sides := make([][]int, 2)
 			for m := 0; m < cfg.Members; m++ {
 				side := rng.Intn(2)
 				sides[side] = append(sides[side], m)
@@ -95,6 +109,59 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 					Note: fmt.Sprintf("rand split %v|%v", sides[0], sides[1])},
 				Action{At: start + hold, Kind: KindHeal, Note: "rand heal"})
 			partBusyUntil = start + hold + 300*time.Millisecond
+		case 5: // harsh: three-way partition, overlap allowed
+			sides := make([][]int, 0, 3)
+			buckets := make([][]int, 3)
+			for m := 0; m < cfg.Members; m++ {
+				b := rng.Intn(3)
+				buckets[b] = append(buckets[b], m)
+			}
+			for _, b := range buckets {
+				if len(b) > 0 {
+					sides = append(sides, b)
+				}
+			}
+			if len(sides) < 2 {
+				continue // degenerate; skip
+			}
+			hold := dur(500*time.Millisecond, 1100*time.Millisecond)
+			s = append(s,
+				Action{At: start, Kind: KindPartition, Sides: sides,
+					Note: fmt.Sprintf("%d-way split", len(sides))},
+				Action{At: start + hold, Kind: KindHeal, Note: "multi heal"})
+			partBusyUntil = start + hold + 300*time.Millisecond
+		case 6: // harsh: anchor crash — slot 0 goes down, re-anchor required
+			if start < crashBusyUntil {
+				continue
+			}
+			hold := dur(500*time.Millisecond, 1200*time.Millisecond)
+			s = append(s, CrashRecover(start, hold, 0)...)
+			s[len(s)-2].Note = "anchor crash"
+			s[len(s)-1].Note = "anchor recover"
+			crashBusyUntil = start + hold + 300*time.Millisecond
+		case 7: // harsh: majority loss — half the cluster fail-stops at once
+			if start < crashBusyUntil {
+				continue
+			}
+			k := cfg.Members / 2
+			if k < 1 {
+				continue
+			}
+			hold := dur(600*time.Millisecond, 1200*time.Millisecond)
+			last := start + hold
+			for j := 0; j < k; j++ {
+				slot := cfg.Members - 1 - j // highest slots; slot 0 stays the anchor
+				rec := start + hold + time.Duration(j)*150*time.Millisecond
+				s = append(s,
+					Action{At: start, Kind: KindCrash, A: slot,
+						Note: fmt.Sprintf("majority loss %d/%d", j+1, k)},
+					Action{At: rec, Kind: KindRecover, A: slot,
+						Note: fmt.Sprintf("majority recover %d/%d", j+1, k)})
+				if rec > last {
+					last = rec
+				}
+			}
+			crashBusyUntil = last + 300*time.Millisecond
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"horus/internal/core"
 )
@@ -13,10 +14,16 @@ import (
 // ViewID it arrived in. Concurrent partitioned views can share a
 // sequence number, so views are always keyed by the full ID
 // (Seq, Coord), never Seq alone.
+//
+// The recording handler locks, so a history may be appended to from a
+// wall-clock fabric's socket goroutines while the driver polls Last;
+// the checkers read Views and Deliveries directly and require the run
+// to be quiescent (simulation stopped, or the UDP fabric closed).
 type History struct {
 	Slot, Inc int
 	ID        core.EndpointID
 
+	mu         sync.Mutex
 	Views      []*core.View
 	Deliveries []Delivery
 	Crashed    bool // this incarnation was crashed by the schedule
@@ -34,6 +41,8 @@ func (h *History) name() string { return fmt.Sprintf("s%d.%d", h.Slot, h.Inc) }
 func (h *History) handler() core.Handler {
 	var cur core.ViewID
 	return func(ev *core.Event) {
+		h.mu.Lock()
+		defer h.mu.Unlock()
 		switch ev.Type {
 		case core.UView:
 			h.Views = append(h.Views, ev.View)
@@ -42,6 +51,19 @@ func (h *History) handler() core.Handler {
 			h.Deliveries = append(h.Deliveries, Delivery{View: cur, Payload: string(ev.Msg.Body())})
 		}
 	}
+}
+
+// Last returns the most recently installed view, or nil. It is the
+// driver's race-free window into a member's progress: on a wall-clock
+// fabric the group's own View accessor belongs to the stack goroutine,
+// while the recorded history is always safe to poll.
+func (h *History) Last() *core.View {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.Views) == 0 {
+		return nil
+	}
+	return h.Views[len(h.Views)-1]
 }
 
 // next returns the view installed immediately after v in this history,

@@ -29,7 +29,7 @@ const (
 	KindClearLink                   // drop overrides between A,B (both directions)
 	KindCrash                       // crash slot A's current incarnation
 	KindRecover                     // boot a fresh incarnation at slot A's site
-	KindPartition                   // split the network into Sides[0] | Sides[1]
+	KindPartition                   // split the network into the Sides components
 	KindHeal                        // remove the partition
 )
 
@@ -57,7 +57,7 @@ type Action struct {
 	Kind  Kind
 	A, B  int         // member slots (A only, for crash/recover)
 	Link  netsim.Link // for set-link kinds
-	Sides [2][]int    // for partition
+	Sides [][]int     // partition components; two-way or multi-way
 	Note  string      // provenance, e.g. "ramp 2/5"
 }
 
@@ -71,7 +71,11 @@ func (a Action) String() string {
 	case KindCrash, KindRecover:
 		return fmt.Sprintf("%8v %s s%d %s", a.At, a.Kind, a.A, a.Note)
 	case KindPartition:
-		return fmt.Sprintf("%8v %s %v|%v %s", a.At, a.Kind, a.Sides[0], a.Sides[1], a.Note)
+		parts := make([]string, len(a.Sides))
+		for i, side := range a.Sides {
+			parts[i] = fmt.Sprint(side)
+		}
+		return fmt.Sprintf("%8v %s %s %s", a.At, a.Kind, strings.Join(parts, "|"), a.Note)
 	default:
 		return fmt.Sprintf("%8v %s %s", a.At, a.Kind, a.Note)
 	}
@@ -159,7 +163,7 @@ func RollingPartition(start, dwell time.Duration, members int) Schedule {
 	var s Schedule
 	at := start
 	for cut := 1; cut < members; cut++ {
-		var sides [2][]int
+		sides := make([][]int, 2)
 		for i := 0; i < members; i++ {
 			if i < cut {
 				sides[0] = append(sides[0], i)

@@ -17,6 +17,17 @@ type SoakConfig struct {
 	Link      netsim.Link   // healthy link; zero → 1ms delay, 2ms jitter, 2% loss
 	FormBy    time.Duration // deadline for initial view formation; default 6s
 	SettleBy  time.Duration // deadline for post-schedule re-convergence; default 10s
+
+	// Harsh turns on the hostile schedule generator (multi-way
+	// partitions, anchor crashes, majority loss) and runs the stack
+	// with primary-partition arithmetic, so minority components defer
+	// casts instead of making independent progress.
+	Harsh bool
+
+	// NewFabric, when set, supplies the transport substrate for each
+	// seed (e.g. a chaosnet UDP fabric). Nil means the deterministic
+	// simulated fabric. The cluster owns the fabric and closes it.
+	NewFabric func(seed int64) Fabric
 }
 
 func (c *SoakConfig) fill() {
@@ -50,17 +61,28 @@ func (c *SoakConfig) fill() {
 // settle and still have violated virtual synchrony along the way.
 func RunSeed(seed int64, cfg SoakConfig) (*Cluster, error) {
 	cfg.fill()
-	c := NewCluster(Config{Seed: seed, Members: cfg.Members, Link: cfg.Link})
+	ccfg := Config{Seed: seed, Members: cfg.Members, Link: cfg.Link}
+	if cfg.NewFabric != nil {
+		ccfg.Fabric = cfg.NewFabric(seed)
+	}
+	if cfg.Harsh {
+		ccfg.Stack = PrimaryStack(cfg.Members)
+	}
+	c := NewCluster(ccfg)
 	if err := c.Form(cfg.FormBy); err != nil {
+		c.Close()
 		return nil, err
 	}
 	sched := Generate(seed, GenConfig{
 		Members: cfg.Members, Horizon: cfg.Horizon, Incidents: cfg.Incidents,
+		Harsh: cfg.Harsh,
 	})
 	c.Apply(sched)
 	c.Run(sched.End() + 500*time.Millisecond)
 	if err := c.Settle(cfg.SettleBy); err != nil {
+		c.Close()
 		return c, err
 	}
+	c.Close()
 	return c, nil
 }

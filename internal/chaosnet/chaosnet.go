@@ -1,0 +1,416 @@
+// Package chaosnet runs the chaos harness's fault vocabulary over
+// real UDP sockets: an in-process lossy proxy stands between every
+// pair of members, so the same typed schedules that drive the
+// simulator (loss ramps, asymmetric loss, flaps, crashes as new
+// incarnations, partitions) execute against genuine kernel sockets at
+// wall-clock speed.
+//
+// Topology: each member i owns a real udpnet transport bound to A_i
+// and a proxy socket P_i. Peers are wired to P_i, never to A_i, so
+// every frame addressed to i arrives at the proxy first:
+//
+//	member j ──A_j──▶ P_i ──(drop/delay/dup/garble?)──▶ A_i ──▶ member i
+//
+// The proxy identifies the sender by source address (udpnet sends
+// from its listen socket), looks up the directed (src, dst) link
+// rule — the same netsim.Link vocabulary the simulator uses, minus
+// Bandwidth — and forwards, delays, duplicates, garbles, or drops the
+// frame. Crashes, detaches, and partitions are enforced the same way:
+// a frame to or from a crashed member, or across partition
+// components, is swallowed.
+//
+// The package implements the chaos.Fabric interface structurally (it
+// does not import chaos), so `chaos.Config{Fabric: chaosnet.New(...)}`
+// runs the whole cluster driver — workload, reconciler, invariant
+// checkers — unchanged over UDP. Nothing here is deterministic: the
+// kernel schedules delivery, so chaosnet runs validate the protocols
+// against real timing, while the simulator remains the replay tool.
+package chaosnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/netsim"
+	"horus/internal/udpnet"
+)
+
+// Stats counts proxy-level activity across all members.
+type Stats struct {
+	Forwarded  int // frames relayed to a member's real socket
+	Dropped    int // frames dropped by a link's loss rate
+	Blocked    int // frames dropped by crash, detach, or partition
+	Duplicated int // extra copies delivered by duplication
+	Garbled    int // frames corrupted in flight
+	Unknown    int // frames from an unrecognized source address
+}
+
+// Config parameterizes a UDP fabric.
+type Config struct {
+	// Seed drives the proxy's fault randomness (loss, jitter, dup,
+	// garble draws). Scheduling is still the kernel's, so runs are not
+	// replayable — the seed only decouples fault draws from time.
+	Seed int64
+	// DefaultLink applies to every (src, dst) pair without an
+	// override, exactly as in netsim.
+	DefaultLink netsim.Link
+	// Addr is the listen address for member and proxy sockets;
+	// empty means "127.0.0.1:0" (ephemeral loopback).
+	Addr string
+}
+
+type pair struct{ a, b core.EndpointID }
+
+// node is one member's attachment: its real transport and the proxy
+// socket every peer sends to instead.
+type node struct {
+	id    core.EndpointID
+	tr    *udpnet.Transport
+	proxy *net.UDPConn
+	ep    *core.Endpoint
+	real  *net.UDPAddr // tr's bound address, the proxy's forward target
+}
+
+// Fabric is the UDP implementation of the chaos transport substrate.
+// All methods are safe for concurrent use; protocol side effects of
+// Crash/Detach run through the victim endpoint's executor.
+type Fabric struct {
+	addr string
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	start     time.Time
+	def       netsim.Link
+	links     map[pair]netsim.Link
+	crashed   map[core.EndpointID]bool
+	part      map[core.EndpointID]int
+	nodes     map[core.EndpointID]*node
+	bySrc     map[string]core.EndpointID // member real addr -> member
+	nextBirth uint64
+	stats     Stats
+	retired   udpnet.Stats // transport counters of detached incarnations
+	timers    []*time.Timer
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// New builds an empty UDP fabric; endpoints attach via NewEndpoint.
+func New(cfg Config) *Fabric {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	return &Fabric{
+		addr:      cfg.Addr,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		start:     time.Now(),
+		def:       cfg.DefaultLink,
+		links:     make(map[pair]netsim.Link),
+		crashed:   make(map[core.EndpointID]bool),
+		part:      make(map[core.EndpointID]int),
+		nodes:     make(map[core.EndpointID]*node),
+		bySrc:     make(map[string]core.EndpointID),
+		nextBirth: 1,
+	}
+}
+
+// NewEndpoint boots a member: a real udpnet transport, its proxy
+// socket, and full peer wiring in both directions (existing members
+// learn the newcomer's proxy; the newcomer learns theirs). Birth
+// identities follow call order, matching the simulator, so schedules
+// resolve slots identically on either fabric.
+func (f *Fabric) NewEndpoint(site string) *core.Endpoint {
+	f.mu.Lock()
+	id := core.EndpointID{Site: site, Birth: f.nextBirth}
+	f.nextBirth++
+	f.mu.Unlock()
+
+	tr, err := udpnet.Listen(f.addr, id)
+	if err != nil {
+		panic(fmt.Sprintf("chaosnet: member socket: %v", err))
+	}
+	proxyAddr := &net.UDPAddr{IP: tr.Addr().IP, Port: 0}
+	proxy, err := net.ListenUDP("udp", proxyAddr)
+	if err != nil {
+		panic(fmt.Sprintf("chaosnet: proxy socket: %v", err))
+	}
+	n := &node{id: id, tr: tr, proxy: proxy, real: tr.Addr()}
+
+	f.mu.Lock()
+	for _, o := range f.nodes {
+		o.tr.AddPeer(id, proxy.LocalAddr().(*net.UDPAddr))
+		tr.AddPeer(o.id, o.proxy.LocalAddr().(*net.UDPAddr))
+	}
+	f.nodes[id] = n
+	f.bySrc[tr.Addr().String()] = id
+	f.mu.Unlock()
+
+	n.ep = tr.NewEndpoint()
+	f.wg.Add(1)
+	go f.proxyLoop(n)
+	return n.ep
+}
+
+// proxyLoop relays frames arriving at a member's proxy socket to the
+// member's real socket, applying the directed link rule for each
+// (sender, member) pair.
+func (f *Fabric) proxyLoop(n *node) {
+	defer f.wg.Done()
+	buf := make([]byte, 64*1024+1)
+	for {
+		sz, src, err := n.proxy.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt := make([]byte, sz)
+		copy(pkt, buf[:sz])
+		f.route(n, src.String(), pkt)
+	}
+}
+
+// route applies the fault rules to one frame and forwards the
+// survivors. Fault draws happen under the fabric lock; the actual
+// socket writes happen outside it (possibly on a timer goroutine).
+func (f *Fabric) route(n *node, src string, pkt []byte) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	from, ok := f.bySrc[src]
+	if !ok {
+		f.stats.Unknown++
+		f.mu.Unlock()
+		return
+	}
+	if f.crashed[from] || f.crashed[n.id] {
+		f.stats.Blocked++
+		f.mu.Unlock()
+		return
+	}
+	if f.part[from] != f.part[n.id] {
+		f.stats.Blocked++
+		f.mu.Unlock()
+		return
+	}
+	l := f.linkFor(from, n.id)
+	if l.LossRate > 0 && f.rng.Float64() < l.LossRate {
+		f.stats.Dropped++
+		f.mu.Unlock()
+		return
+	}
+	if l.GarbleRate > 0 && len(pkt) > 0 && f.rng.Float64() < l.GarbleRate {
+		pkt[f.rng.Intn(len(pkt))] ^= byte(1 + f.rng.Intn(255))
+		f.stats.Garbled++
+	}
+	copies := 1
+	if l.DupRate > 0 && f.rng.Float64() < l.DupRate {
+		copies = 2
+		f.stats.Duplicated++
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		delays[i] = l.Delay
+		if l.Jitter > 0 {
+			delays[i] += time.Duration(f.rng.Int63n(int64(l.Jitter)))
+		}
+	}
+	f.mu.Unlock()
+
+	for _, d := range delays {
+		send := func() {
+			if _, err := n.proxy.WriteToUDP(pkt, n.real); err != nil {
+				return // member socket gone; the frame is just lost
+			}
+			f.mu.Lock()
+			f.stats.Forwarded++
+			f.mu.Unlock()
+		}
+		if d <= 0 {
+			send()
+		} else {
+			time.AfterFunc(d, send)
+		}
+	}
+}
+
+// linkFor mirrors netsim precedence: directed override, then default.
+// Callers hold f.mu.
+func (f *Fabric) linkFor(from, to core.EndpointID) netsim.Link {
+	if l, ok := f.links[pair{from, to}]; ok {
+		return l
+	}
+	return f.def
+}
+
+// Now is wall time since the fabric was built.
+func (f *Fabric) Now() time.Duration { return time.Since(f.start) }
+
+// At schedules fn at absolute fabric time t on a timer goroutine.
+// After Close, pending timers are stopped and new ones are not armed —
+// that is what ends the cluster's self-re-arming workload ticks.
+func (f *Fabric) At(t time.Duration, fn func()) {
+	d := t - f.Now()
+	if d < 0 {
+		d = 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.timers = append(f.timers, time.AfterFunc(d, fn))
+}
+
+// RunFor sleeps: on a wall-clock fabric the sockets run themselves.
+func (f *Fabric) RunFor(d time.Duration) { time.Sleep(d) }
+
+// SetLink overrides the link in both directions, as in netsim.
+func (f *Fabric) SetLink(a, b core.EndpointID, l netsim.Link) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[pair{a, b}] = l
+	f.links[pair{b, a}] = l
+}
+
+// SetLinkDirected overrides the link for frames from a to b only.
+func (f *Fabric) SetLinkDirected(a, b core.EndpointID, l netsim.Link) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[pair{a, b}] = l
+}
+
+// ClearLink removes overrides between a and b (both directions).
+func (f *Fabric) ClearLink(a, b core.EndpointID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.links, pair{a, b})
+	delete(f.links, pair{b, a})
+}
+
+// Crash fail-stops a member: its stacks are destroyed (timers die,
+// protocol execution halts) and the proxy swallows everything to or
+// from it. Peers observe silence, the failure model the stack turns
+// into clean view changes.
+func (f *Fabric) Crash(id core.EndpointID) {
+	f.mu.Lock()
+	n := f.nodes[id]
+	f.crashed[id] = true
+	f.mu.Unlock()
+	if n != nil {
+		n.ep.Destroy()
+	}
+}
+
+// Detach removes a (typically crashed) incarnation entirely: its
+// sockets close, its proxy loop exits, and its fault bookkeeping is
+// forgotten. Peers still hold a wiring entry for the dead proxy, but
+// frames sent there vanish into a closed socket — exactly the
+// best-effort semantics of sending to a dead host.
+func (f *Fabric) Detach(id core.EndpointID) {
+	f.Crash(id)
+	f.mu.Lock()
+	n := f.nodes[id]
+	if n != nil {
+		f.retired.SendErrors += n.tr.Stats().SendErrors
+		f.retired.Oversized += n.tr.Stats().Oversized
+		f.retired.Malformed += n.tr.Stats().Malformed
+		f.retired.Truncated += n.tr.Stats().Truncated
+		delete(f.bySrc, n.real.String())
+	}
+	delete(f.nodes, id)
+	delete(f.crashed, id)
+	delete(f.part, id)
+	for p := range f.links {
+		if p.a == id || p.b == id {
+			delete(f.links, p)
+		}
+	}
+	f.mu.Unlock()
+	if n != nil {
+		n.tr.Close()
+		n.proxy.Close()
+	}
+}
+
+// Partition splits the members into components; frames flow only
+// within a component. Members not listed join component 0 together —
+// the same convention as netsim.
+func (f *Fabric) Partition(groups ...[]core.EndpointID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.part = make(map[core.EndpointID]int)
+	for i, g := range groups {
+		for _, id := range g {
+			f.part[id] = i + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.part = make(map[core.EndpointID]int)
+}
+
+// Stats snapshots the proxy counters.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// TransportStats sums the udpnet counters over every incarnation that
+// ever attached, including detached ones: transport-level trouble
+// (send failures, malformed datagrams) survives the member it
+// happened to.
+func (f *Fabric) TransportStats() udpnet.Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := f.retired
+	for _, n := range f.nodes {
+		s := n.tr.Stats()
+		total.SendErrors += s.SendErrors
+		total.Oversized += s.Oversized
+		total.Malformed += s.Malformed
+		total.Truncated += s.Truncated
+	}
+	return total
+}
+
+// Close quiesces the fabric: stops schedule timers, destroys every
+// member stack (cancelling protocol timers), closes all sockets, and
+// waits for the proxy goroutines to exit. After Close, recorded
+// histories are stable and safe to check.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	timers := f.timers
+	f.timers = nil
+	nodes := make([]*node, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		nodes = append(nodes, n)
+	}
+	f.mu.Unlock()
+
+	for _, t := range timers {
+		t.Stop()
+	}
+	for _, n := range nodes {
+		n.ep.Destroy()
+	}
+	for _, n := range nodes {
+		n.tr.Close()
+		n.proxy.Close()
+	}
+	f.wg.Wait()
+}

@@ -1,0 +1,112 @@
+package chaosnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"horus/internal/core"
+	"horus/internal/netsim"
+)
+
+// waitFor polls cond for up to 2s — wall-clock tests cannot assert on
+// exact timing, only eventual counters.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}
+
+func TestProxyCountsUnknownSources(t *testing.T) {
+	f := New(Config{Seed: 1})
+	defer f.Close()
+	f.NewEndpoint("a")
+
+	// A frame from a socket the fabric never registered must be
+	// swallowed and counted, not forwarded.
+	var proxyAddr *net.UDPAddr
+	f.mu.Lock()
+	for _, n := range f.nodes {
+		proxyAddr = n.proxy.LocalAddr().(*net.UDPAddr)
+	}
+	f.mu.Unlock()
+
+	stranger, err := net.DialUDP("udp", nil, proxyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Close()
+	if _, err := stranger.Write([]byte("who dis")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return f.Stats().Unknown >= 1 })
+	if got := f.Stats().Forwarded; got != 0 {
+		t.Fatalf("stranger frame forwarded %d times", got)
+	}
+}
+
+func TestProxyEnforcesCrashAndPartition(t *testing.T) {
+	f := New(Config{Seed: 2})
+	defer f.Close()
+	epA := f.NewEndpoint("a")
+	epB := f.NewEndpoint("b")
+	a, b := epA.ID(), epB.ID()
+
+	var na, nb *node
+	f.mu.Lock()
+	na, nb = f.nodes[a], f.nodes[b]
+	f.mu.Unlock()
+
+	// Drive the checks through route() directly: source-address
+	// identification is covered by the cluster smoke in fabric_test.go;
+	// here we pin the rule table itself.
+	frame := []byte{0, 0, 'x'}
+	f.route(nb, na.real.String(), frame)
+	waitFor(t, func() bool { return f.Stats().Forwarded == 1 })
+
+	f.Partition([]core.EndpointID{a}, []core.EndpointID{b})
+	f.route(nb, na.real.String(), frame)
+	waitFor(t, func() bool { return f.Stats().Blocked == 1 })
+
+	f.Heal()
+	f.route(nb, na.real.String(), frame)
+	waitFor(t, func() bool { return f.Stats().Forwarded == 2 })
+
+	f.Crash(a)
+	f.route(nb, na.real.String(), frame)
+	waitFor(t, func() bool { return f.Stats().Blocked == 2 })
+}
+
+func TestProxyAppliesLossAndDirectedLinks(t *testing.T) {
+	f := New(Config{Seed: 3})
+	defer f.Close()
+	epA := f.NewEndpoint("a")
+	epB := f.NewEndpoint("b")
+	a, b := epA.ID(), epB.ID()
+
+	var na, nb *node
+	f.mu.Lock()
+	na, nb = f.nodes[a], f.nodes[b]
+	f.mu.Unlock()
+
+	// Full loss a->b drops everything; the reverse direction is clean.
+	f.SetLinkDirected(a, b, netsim.Link{LossRate: 1})
+	frame := []byte{0, 0, 'x'}
+	for i := 0; i < 10; i++ {
+		f.route(nb, na.real.String(), frame) // a -> b: lossy
+	}
+	waitFor(t, func() bool { return f.Stats().Dropped == 10 })
+	f.route(na, nb.real.String(), frame) // b -> a: default link
+	waitFor(t, func() bool { return f.Stats().Forwarded == 1 })
+
+	// ClearLink restores the default in both directions.
+	f.ClearLink(a, b)
+	f.route(nb, na.real.String(), frame)
+	waitFor(t, func() bool { return f.Stats().Forwarded == 2 })
+}

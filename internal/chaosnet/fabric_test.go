@@ -1,0 +1,54 @@
+package chaosnet_test
+
+import (
+	"testing"
+	"time"
+
+	"horus/internal/chaos"
+	"horus/internal/chaosnet"
+	"horus/internal/netsim"
+)
+
+// The UDP fabric must satisfy the chaos transport abstraction without
+// chaosnet importing chaos — structural typing keeps the dependency
+// arrow pointing one way.
+var _ chaos.Fabric = (*chaosnet.Fabric)(nil)
+
+// TestClusterOverUDPSmoke is the real-socket end-to-end: a cluster
+// forms over loopback UDP through the lossy proxies, survives a crash
+// and recovery, re-converges, and keeps every virtual-synchrony
+// invariant. Wall-clock deadlines are generous — CI machines stall.
+func TestClusterOverUDPSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock UDP smoke")
+	}
+	link := netsim.Link{Delay: time.Millisecond, Jitter: 2 * time.Millisecond, LossRate: 0.02}
+	c := chaos.NewCluster(chaos.Config{
+		Seed: 1, Members: 3, Link: link,
+		Fabric: chaosnet.New(chaosnet.Config{Seed: 1, DefaultLink: link}),
+	})
+	if err := c.Form(15 * time.Second); err != nil {
+		c.Close()
+		t.Fatal(err)
+	}
+	c.Apply(chaos.Schedule{
+		{At: 100 * time.Millisecond, Kind: chaos.KindCrash, A: 2},
+		{At: 900 * time.Millisecond, Kind: chaos.KindRecover, A: 2},
+	})
+	c.Run(1200 * time.Millisecond)
+	err := c.Settle(15 * time.Second)
+	c.Close() // quiesce before reading histories
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range c.Check() {
+		t.Error(e)
+	}
+	if len(c.Histories) != 4 {
+		t.Fatalf("expected 4 incarnations (3 boots + 1 recover), got %d", len(c.Histories))
+	}
+	f := c.Fabric().(*chaosnet.Fabric)
+	if f.Stats().Forwarded == 0 {
+		t.Fatal("proxy forwarded nothing — the cluster cannot have formed through it")
+	}
+}

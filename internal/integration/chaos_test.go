@@ -116,7 +116,9 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
-func soakName(seed int64) string { return "seed" + string(rune('0'+seed/10)) + string(rune('0'+seed%10)) }
+func soakName(seed int64) string {
+	return "seed" + string(rune('0'+seed/10)) + string(rune('0'+seed%10))
+}
 
 // runChaosSeed is the one deterministic recipe shared by the soak, the
 // replay test, and cmd/horus-chaos — chaos.RunSeed with its defaults.
@@ -148,5 +150,66 @@ func TestChaosDeterministicReplay(t *testing.T) {
 	d1, d2 := run(), run()
 	if d1 != d2 {
 		t.Fatalf("same seed diverged:\n--- run 1\n%s\n--- run 2\n%s", d1, d2)
+	}
+}
+
+// TestChaosHarshSoak runs the hostile schedule repertoire — multi-way
+// partitions, anchor crashes, majority loss — over the
+// primary-partition stack. Short mode trims the sweep; CI runs the
+// full 20 under -race.
+func TestChaosHarshSoak(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(soakName(seed), func(t *testing.T) {
+			c, err := chaos.RunSeed(seed, chaos.SoakConfig{Harsh: true})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, e := range c.Check() {
+				t.Errorf("seed %d: %v", seed, e)
+			}
+		})
+	}
+}
+
+// TestChaosHarshReplayStable re-runs harsh seed 9 — the seed that once
+// wedged a member on perpetual "not coordinator" merge denials after
+// an anchor crash — and requires both that it now converges cleanly
+// and that two runs of it are byte-identical, so any future
+// re-appearance of the bug replays exactly.
+func TestChaosHarshReplayStable(t *testing.T) {
+	run := func() string {
+		c, err := chaos.RunSeed(9, chaos.SoakConfig{Harsh: true})
+		if err != nil {
+			t.Fatalf("harsh seed 9: %v", err)
+		}
+		for _, e := range c.Check() {
+			t.Errorf("harsh seed 9: %v", e)
+		}
+		return c.Digest()
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("harsh seed 9 diverged across runs:\n--- run 1\n%s\n--- run 2\n%s", d1, d2)
+	}
+}
+
+// TestChaosSeed5Regression pins the exact recipe that exposed the
+// view-agreement violation fixed in the merge-pool rework: seed 5, 6
+// members, 80 incidents over a 4s horizon. It must settle and keep
+// every virtual-synchrony invariant.
+func TestChaosSeed5Regression(t *testing.T) {
+	c, err := chaos.RunSeed(5, chaos.SoakConfig{
+		Members: 6, Horizon: 4 * time.Second, Incidents: 80,
+	})
+	if err != nil {
+		t.Fatalf("seed 5 recipe: %v", err)
+	}
+	for _, e := range c.Check() {
+		t.Errorf("seed 5 recipe: %v", e)
 	}
 }

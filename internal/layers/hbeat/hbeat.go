@@ -14,6 +14,13 @@
 // layer above converts into a clean view change — and/or reports the
 // suspect to an external failure.Service via WithReporter.
 //
+// WithPhiAccrual replaces the binary timeout comparison with the
+// φ-accrual estimator: the same arrival statistics feed a normal
+// model of the inter-arrival process, the current silence is scored
+// as a continuously growing suspicion level φ, and the accusation
+// fires when φ crosses a configurable threshold. The min/max timeouts
+// remain as hard floor and ceiling around the model.
+//
 // Any traffic counts as life, not just heartbeats, so a busy link
 // never looks dead; and a suspect that speaks again is re-armed, so a
 // member that was merely slow can be re-suspected later (the layer
@@ -30,6 +37,7 @@ package hbeat
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"horus/internal/core"
@@ -70,6 +78,25 @@ func WithMinTimeout(d time.Duration) Option { return func(h *Hbeat) { h.minTimeo
 // WithMaxTimeout sets the suspicion-timeout ceiling. Default
 // 20·period.
 func WithMaxTimeout(d time.Duration) Option { return func(h *Hbeat) { h.maxTimeout = d } }
+
+// WithPhiAccrual switches the suspicion rule from the binary adaptive
+// timeout to the φ-accrual estimator (Hayashibara et al.): the
+// inter-arrival process is modeled as a normal distribution from the
+// same EWMA mean/deviation the binary rule uses, and the current
+// silence is scored as
+//
+//	φ = -log10( P(next arrival is still later than this silence) )
+//
+// so φ grows continuously as silence stretches — φ=1 means a 10%
+// chance the peer is still alive, φ=3 means 0.1%. A peer is suspected
+// when φ reaches the given threshold (8 is a common production
+// choice; lower is more aggressive). The min/max timeouts stay in
+// force as floor and ceiling: no accusation before MinTimeout of
+// silence however large φ gets, and silence past MaxTimeout accuses
+// regardless of φ.
+func WithPhiAccrual(threshold float64) Option {
+	return func(h *Hbeat) { h.phiThreshold = threshold }
+}
 
 // WithReporter routes suspicions into an external failure-detection
 // service (e.g. failure.Service.Report) instead of — or in addition
@@ -117,12 +144,13 @@ type Hbeat struct {
 	members []core.EndpointID
 	peers   map[core.EndpointID]*peerState
 
-	period     time.Duration
-	k          float64
-	minTimeout time.Duration
-	maxTimeout time.Duration
-	reporter   func(observer, suspect core.EndpointID)
-	noUpcalls  bool
+	period       time.Duration
+	k            float64
+	minTimeout   time.Duration
+	maxTimeout   time.Duration
+	phiThreshold float64 // 0 = binary adaptive timeout
+	reporter     func(observer, suspect core.EndpointID)
+	noUpcalls    bool
 
 	tickCancel func()
 	destroyed  bool
@@ -151,6 +179,18 @@ func (h *Hbeat) Timeout(e core.EndpointID) time.Duration {
 		return 0
 	}
 	return h.timeoutOf(p)
+}
+
+// Phi returns the peer's current φ-accrual suspicion level (for tests
+// and diagnostics); zero if the peer is not monitored or has no
+// arrival history yet. Meaningful regardless of whether WithPhiAccrual
+// selected φ as the suspicion rule.
+func (h *Hbeat) Phi(e core.EndpointID) float64 {
+	p := h.peers[e]
+	if p == nil {
+		return 0
+	}
+	return phiOf(p, h.Ctx.Now()-p.last)
 }
 
 // Init implements core.Layer.
@@ -301,6 +341,47 @@ func (h *Hbeat) timeoutOf(p *peerState) time.Duration {
 	return d
 }
 
+// phiOf scores a silence against the peer's learned arrival process:
+// the probability that the next arrival is still coming after this
+// much silence, under a normal model of the inter-arrival time, as
+// -log10. Zero history scores zero — the grace before the first
+// arrival is the ceiling timeout's job.
+func phiOf(p *peerState, silence time.Duration) float64 {
+	if p.samples == 0 {
+		return 0
+	}
+	// A near-zero deviation (perfectly regular arrivals, as in the
+	// deterministic simulator) would make the normal model a step
+	// function that accuses one instant past the mean; floor it at a
+	// tenth of the mean so regularity buys sharpness, not hair-trigger.
+	dev := p.dev
+	if min := p.mean / 10; dev < min {
+		dev = min
+	}
+	pLater := 0.5 * math.Erfc((silence.Seconds()-p.mean)/(dev*math.Sqrt2))
+	// Erfc underflows to zero for extreme silences; cap φ instead of
+	// returning +Inf.
+	if pLater < 1e-30 {
+		pLater = 1e-30
+	}
+	return -math.Log10(pLater)
+}
+
+// suspicious applies the configured suspicion rule to one peer's
+// current silence.
+func (h *Hbeat) suspicious(p *peerState, silence time.Duration) bool {
+	if h.phiThreshold <= 0 {
+		return silence > h.timeoutOf(p)
+	}
+	if silence > h.maxTimeout {
+		return true // ceiling: accuse regardless of the model
+	}
+	if silence <= h.minTimeout {
+		return false // floor: never accuse this early
+	}
+	return phiOf(p, silence) >= h.phiThreshold
+}
+
 // tick sends a heartbeat and sweeps for silent members.
 func (h *Hbeat) tick() {
 	if h.destroyed {
@@ -323,7 +404,7 @@ func (h *Hbeat) tick() {
 		if p == nil || p.suspected {
 			continue
 		}
-		if silence := now - p.last; silence > h.timeoutOf(p) {
+		if silence := now - p.last; h.suspicious(p, silence) {
 			p.suspected = true
 			h.stats.Suspicions++
 			h.Ctx.Tracef("hbeat %s: suspecting %s after %v of silence",

@@ -118,8 +118,8 @@ func TestSpeakingAgainRearmsSuspicion(t *testing.T) {
 	if n := len(h.UpOfType(core.UProblem)); n != 1 {
 		t.Fatalf("first silence: %d PROBLEMs, want 1", n)
 	}
-	beat(h, peer)       // the suspect speaks — re-armed
-	h.Run(10 * period)  // second silence
+	beat(h, peer)      // the suspect speaks — re-armed
+	h.Run(10 * period) // second silence
 	if n := len(h.UpOfType(core.UProblem)); n != 2 {
 		t.Fatalf("after re-arm + second silence: %d PROBLEMs, want 2", n)
 	}
@@ -190,5 +190,108 @@ func TestDestroyCancelsTicker(t *testing.T) {
 	h.Run(10 * period)
 	if after := len(h.DownOfType(core.DCast)); after != before {
 		t.Fatalf("destroyed layer kept beating: %d -> %d", before, after)
+	}
+}
+
+// phiHarness is harness() plus a handle on the layer instance, so
+// tests can read the φ estimator directly.
+func phiHarness(t *testing.T, opts ...hbeat.Option) (*layertest.Harness, *hbeat.Hbeat) {
+	t.Helper()
+	opts = append([]hbeat.Option{hbeat.WithPeriod(period)}, opts...)
+	var hb *hbeat.Hbeat
+	h := layertest.New(t, func() core.Layer {
+		l := hbeat.NewWith(opts...)()
+		hb = l.(*hbeat.Hbeat)
+		return l
+	})
+	return h, hb
+}
+
+func TestPhiGrowsMonotonicallyWithSilence(t *testing.T) {
+	h, hb := phiHarness(t, hbeat.WithPhiAccrual(1e9)) // threshold out of reach: observe φ only
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	for i := 0; i < 8; i++ {
+		h.Run(period)
+		beat(h, peer)
+	}
+	// φ right after an arrival must be small; every step of extra
+	// silence must not decrease it; and a long silence must score
+	// clearly suspicious.
+	prev := hb.Phi(peer)
+	if prev > 1 {
+		t.Fatalf("φ=%.2f immediately after an arrival, want <1", prev)
+	}
+	for i := 0; i < 12; i++ {
+		h.Run(period / 2)
+		phi := hb.Phi(peer)
+		if phi < prev {
+			t.Fatalf("φ decreased with silence: %.3f -> %.3f at step %d", prev, phi, i)
+		}
+		prev = phi
+	}
+	if prev < 8 {
+		t.Fatalf("φ=%.2f after 6 periods of silence, want ≥8", prev)
+	}
+}
+
+func TestPhiAndBinaryAgreeOnCrashedMember(t *testing.T) {
+	// The same life-then-crash pattern through both suspicion rules:
+	// each must accuse the silent peer exactly once, and neither may
+	// accuse while it is alive.
+	run := func(opts ...hbeat.Option) []*core.Event {
+		h := harness(t, append(opts, hbeat.WithMaxTimeout(5*period))...)
+		peer := layertest.ID("peer", 1)
+		h.InstallView(h.Self(), peer)
+		for i := 0; i < 8; i++ {
+			h.Run(period)
+			beat(h, peer)
+		}
+		if n := len(h.UpOfType(core.UProblem)); n != 0 {
+			t.Fatalf("accused a live peer (%d PROBLEMs)", n)
+		}
+		h.Run(10 * period) // crash: total silence
+		return h.UpOfType(core.UProblem)
+	}
+	binary := run()
+	phi := run(hbeat.WithPhiAccrual(8))
+	if len(binary) != 1 || len(phi) != 1 {
+		t.Fatalf("binary accused %d times, φ accused %d times; want exactly 1 each",
+			len(binary), len(phi))
+	}
+	if binary[0].Source != phi[0].Source {
+		t.Fatalf("detectors accused different members: %v vs %v",
+			binary[0].Source, phi[0].Source)
+	}
+}
+
+func TestPhiRespectsFloorAndCeiling(t *testing.T) {
+	// Floor: an absurdly aggressive threshold cannot accuse before
+	// MinTimeout. Ceiling: an absurdly lax threshold must still accuse
+	// once silence passes MaxTimeout.
+	h, _ := phiHarness(t,
+		hbeat.WithPhiAccrual(0.0001),
+		hbeat.WithMinTimeout(4*period),
+		hbeat.WithMaxTimeout(20*period),
+	)
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	h.Run(period)
+	beat(h, peer)
+	h.Run(3 * period)
+	if n := len(h.UpOfType(core.UProblem)); n != 0 {
+		t.Fatalf("accused before the MinTimeout floor (%d PROBLEMs)", n)
+	}
+
+	h2, _ := phiHarness(t,
+		hbeat.WithPhiAccrual(1e9),
+		hbeat.WithMaxTimeout(5*period),
+	)
+	h2.InstallView(h2.Self(), peer)
+	h2.Run(period)
+	beat(h2, peer)
+	h2.Run(10 * period)
+	if n := len(h2.UpOfType(core.UProblem)); n != 1 {
+		t.Fatalf("ceiling did not fire under an unreachable threshold: %d PROBLEMs, want 1", n)
 	}
 }

@@ -59,6 +59,7 @@ const (
 	kLeave      = 13 // voluntary departure announcement
 	kPoolMark   = 14 // end-of-rebroadcast marker {round}, merge flushes
 	kPoolAck    = 15 // survivor confirms pool receipt {round}
+	kViewNack   = 16 // member refuses a view it cannot install {view id}
 )
 
 // states of the layer.
@@ -82,6 +83,10 @@ const (
 	// maxFutureBuffer bounds messages held because they were sent in a
 	// view newer than ours (the sender outran the view announcement).
 	maxFutureBuffer = 256
+
+	// maxFwdStash bounds forwards held until the view announcement
+	// that decides whether their flush is the one we follow.
+	maxFwdStash = 4096
 )
 
 // Option configures the layer at construction.
@@ -192,19 +197,22 @@ type Mbrship struct {
 	fwdPool       map[core.MsgID]fwdEntry
 	flushForMerge bool
 	flushCancel   func()
-	pendingCasts  []*message.Message // application casts deferred during flush
-	future        []*core.Event      // data from views we have not installed yet
+	pendingCasts  []*message.Message             // application casts deferred during flush
+	future        []*core.Event                  // data from views we have not installed yet
+	fwdStash      map[core.EndpointID][]fwdEntry // forwards per sender, awaiting that sender's view
+	stashSize     int
 
 	// Merge state.
-	mergeTarget    core.EndpointID // outgoing: contacted coordinator
-	mergePeer      []core.EndpointID
-	mergePeerEpoch uint64
-	mergeReady     bool // incoming: requester flushed; outgoing: grant received
-	ownFlushDone   bool // incoming/outgoing: our side's flush finished
-	poolWait       map[core.EndpointID]bool // outgoing: survivors owing a pool ack
-	mergeTries     int  // retry-timer firings for the current attempt
-	mergeCancel    func()
-	pendingReqs    []*core.View // manual grant: requests awaiting the application
+	mergeTarget     core.EndpointID // outgoing: contacted coordinator
+	mergePeer       []core.EndpointID
+	mergePeerView   core.ViewID              // incoming: the view the requester side sealed
+	mergePeerSealer core.EndpointID          // incoming: the coordinator that sealed it
+	mergeReady      bool                     // incoming: requester flushed; outgoing: grant received
+	ownFlushDone    bool                     // incoming/outgoing: our side's flush finished
+	poolWait        map[core.EndpointID]bool // outgoing: survivors owing a pool ack
+	mergeTries      int                      // retry-timer firings for the current attempt
+	mergeCancel     func()
+	pendingReqs     []*core.View // manual grant: requests awaiting the application
 
 	// Config.
 	gossipPeriod time.Duration
@@ -242,6 +250,7 @@ type Stats struct {
 	FwdsSent       int
 	FwdsDelivered  int
 	StaleDropped   int // messages from old epochs or non-members dropped
+	ViewsRefused   int // announced views rejected for a predecessor mismatch
 	MergesGranted  int
 	MergesDenied   int
 }
@@ -430,6 +439,8 @@ func (m *Mbrship) dispatch(kind uint8, ev *core.Event) {
 		m.receivePoolMark(ev)
 	case kPoolAck:
 		m.receivePoolAck(ev)
+	case kViewNack:
+		m.receiveViewNack(ev)
 	case kLeave:
 		if epoch, coord := popViewTag(ev.Msg); !m.inCurrentView(epoch, coord) {
 			m.stats.StaleDropped++
@@ -472,6 +483,7 @@ func (m *Mbrship) receiveData(ev *core.Event) {
 	}
 	m.appendLog(src, seq, ev.Msg.Clone())
 	m.recordDelivered(src, seq)
+	m.Ctx.Tracef("mbrship %s: deliver %s/%d in %v", m.Ctx.Self(), src, seq, m.view.ID)
 	m.Ctx.Up(ev)
 }
 
@@ -676,7 +688,7 @@ func (m *Mbrship) receiveFlush(ev *core.Event) {
 		m.consentRound = round
 		m.consentOwed = true
 	}
-	m.forwardLog(coord)
+	m.forwardLog(coord, round)
 	m.Ctx.Up(&core.Event{Type: core.UFlush, Failed: failed})
 	if !m.appFlushOK {
 		m.sendConsent(coord, round)
@@ -708,8 +720,10 @@ func (m *Mbrship) appConsents() {
 	m.sendConsent(m.consentCoord, m.consentRound)
 }
 
-// forwardLog sends every logged unstable message to the coordinator.
-func (m *Mbrship) forwardLog(coord core.EndpointID) {
+// forwardLog sends every logged unstable message to the coordinator,
+// stamped with the flush round it answers so the coordinator can tell
+// current answers from a previous round's in-flight stragglers.
+func (m *Mbrship) forwardLog(coord core.EndpointID, round uint64) {
 	origins := make([]core.EndpointID, 0, len(m.log))
 	for o := range m.log {
 		origins = append(origins, o)
@@ -720,6 +734,7 @@ func (m *Mbrship) forwardLog(coord core.EndpointID) {
 			fwd := message.New(entry.msg.Marshal())
 			fwd.PushUint64(entry.seq)
 			m.pushViewTag(fwd)
+			fwd.PushUint64(round)
 			wire.PushEndpointID(fwd, origin)
 			fwd.PushUint8(kFwd)
 			m.stats.FwdsSent++
@@ -741,11 +756,21 @@ func (m *Mbrship) poolOwnLog() {
 	}
 }
 
-// receiveFwd handles an unstable-message forward, at the coordinator
-// (collection phase) or at a member (rebroadcast phase). Either way
-// the message is delivered locally if it has not been yet.
+// receiveFwd handles an unstable-message forward. Only the active
+// coordinator of the forward's round delivers it on the spot: it is
+// about to decide the pool everyone moving to the next view must
+// agree on, and anything it delivers goes into its own log, so a
+// later capturing coordinator re-collects it — no delivery can leak
+// past a flush. Every other forward — a rebroadcast running ahead of
+// its view announcement, or a collection answer to a coordinatorship
+// we have since ceded — is *stashed* per sender: delivering it now
+// would adopt one flush's pool while we may yet install a different
+// coordinator's successor, which is exactly how view agreement
+// breaks. The stash is delivered when we install a view that sender
+// sealed (receiveView) and discarded at any other installation.
 func (m *Mbrship) receiveFwd(ev *core.Event) {
 	origin := wire.PopEndpointID(ev.Msg)
+	round := ev.Msg.PopUint64()
 	epoch, coord := popViewTag(ev.Msg)
 	seq := ev.Msg.PopUint64()
 	if !m.inCurrentView(epoch, coord) {
@@ -753,12 +778,30 @@ func (m *Mbrship) receiveFwd(ev *core.Event) {
 		return
 	}
 	wireBytes := append([]byte(nil), ev.Msg.Body()...)
-	id := core.MsgID{Origin: origin, Seq: seq}
-	if m.fwdPool != nil {
-		if _, dup := m.fwdPool[id]; !dup {
-			m.fwdPool[id] = fwdEntry{origin: origin, seq: seq, wire: wireBytes}
+	if m.flushCoord == m.Ctx.Self() && m.okFrom != nil && round == m.flushRound {
+		if m.fwdPool != nil {
+			id := core.MsgID{Origin: origin, Seq: seq}
+			if _, dup := m.fwdPool[id]; !dup {
+				m.fwdPool[id] = fwdEntry{origin: origin, seq: seq, wire: wireBytes}
+			}
 		}
+		m.deliverFwd(origin, seq, wireBytes, ev.Source)
+		return
 	}
+	if !m.view.Contains(ev.Source) || m.stashSize >= maxFwdStash {
+		m.stats.StaleDropped++
+		return
+	}
+	if m.fwdStash == nil {
+		m.fwdStash = make(map[core.EndpointID][]fwdEntry)
+	}
+	m.fwdStash[ev.Source] = append(m.fwdStash[ev.Source],
+		fwdEntry{origin: origin, seq: seq, wire: wireBytes})
+	m.stashSize++
+}
+
+// deliverFwd delivers one forwarded unstable message, deduplicated.
+func (m *Mbrship) deliverFwd(origin core.EndpointID, seq uint64, wireBytes []byte, from core.EndpointID) {
 	if m.isDelivered(origin, seq) {
 		return
 	}
@@ -769,6 +812,8 @@ func (m *Mbrship) receiveFwd(ev *core.Event) {
 	m.appendLog(origin, seq, inner.Clone())
 	m.recordDelivered(origin, seq)
 	m.stats.FwdsDelivered++
+	m.Ctx.Tracef("mbrship %s: fwd-deliver %s/%d from %s in %v",
+		m.Ctx.Self(), origin, seq, from, m.view.ID)
 	m.Ctx.Up(&core.Event{Type: core.UCast, Msg: inner, Source: origin})
 }
 
@@ -852,6 +897,7 @@ func (m *Mbrship) rebroadcastPool(members []core.EndpointID) {
 		fwd := message.New(e.wire)
 		fwd.PushUint64(e.seq)
 		m.pushViewTag(fwd)
+		fwd.PushUint64(m.flushRound)
 		wire.PushEndpointID(fwd, e.origin)
 		fwd.PushUint8(kFwd)
 		m.stats.FwdsSent++
@@ -864,12 +910,26 @@ func (m *Mbrship) rebroadcastPool(members []core.EndpointID) {
 // peer view's epoch, so every member accepts it as younger.
 func (m *Mbrship) installNewView(members []core.EndpointID) {
 	seq := m.epoch
-	if m.mergePeerEpoch > seq {
-		seq = m.mergePeerEpoch
+	if m.mergePeerView.Seq > seq {
+		seq = m.mergePeerView.Seq
 	}
 	v := core.NewView(core.ViewID{Seq: seq + 1, Coord: m.Ctx.Self()},
 		m.Ctx.GroupAddr(), members)
+	// The announcement names the predecessor view(s) this successor
+	// was flushed from — our own sealed view and, for a merge union,
+	// the requester side's sealed view plus the coordinator that
+	// sealed it. A receiver installs the view only from a predecessor
+	// it is actually in, and delivers the sealing coordinator's
+	// stashed forwards first (receiveView) — concurrent coordinators
+	// of one view produce same-seq sibling successors, and a member
+	// that consented to both must not hop from one sibling into the
+	// other without a flush in between.
 	msg := message.New(nil)
+	wire.PushEndpointID(msg, m.mergePeerSealer)
+	wire.PushEndpointID(msg, m.mergePeerView.Coord)
+	msg.PushUint64(m.mergePeerView.Seq)
+	wire.PushEndpointID(msg, m.view.ID.Coord)
+	msg.PushUint64(m.view.ID.Seq)
 	wire.PushView(msg, v)
 	msg.PushUint8(kView)
 	dests := m.othersOf(members)
@@ -880,19 +940,77 @@ func (m *Mbrship) installNewView(members []core.EndpointID) {
 }
 
 // receiveView installs a view announced by a flush or merge
-// coordinator.
+// coordinator — but only if this member is in one of the predecessor
+// views the announcement was flushed from. Being in a predecessor
+// means the coordinator sealed *our* view with our consent (the kView
+// follows its kFlush on the same FIFO channel), so our delivery state
+// matches its rebroadcast pool. Any other transition would carry
+// deliveries the new view's members never agreed on.
 func (m *Mbrship) receiveView(ev *core.Event) {
 	v := wire.PopView(ev.Msg)
-	if m.view != nil && !m.view.ID.Older(v.ID) {
-		m.stats.StaleDropped++
-		return
+	pred1 := core.ViewID{Seq: ev.Msg.PopUint64(), Coord: wire.PopEndpointID(ev.Msg)}
+	pred2 := core.ViewID{Seq: ev.Msg.PopUint64(), Coord: wire.PopEndpointID(ev.Msg)}
+	sealer2 := wire.PopEndpointID(ev.Msg)
+	if m.view != nil && m.view.ID == v.ID {
+		return // duplicate announcement of the view we are in
 	}
 	if !v.Contains(m.Ctx.Self()) {
 		// Excluded from the successor view; we keep our current view
 		// and will eventually form a singleton and merge back.
 		return
 	}
+	if m.view != nil && m.view.ID != pred1 && m.view.ID != pred2 {
+		// Flushed from a view we are not in: a concurrent coordinator
+		// sealed a sibling of our view (or the announcement is a stale
+		// replay). Refuse, and say so — the announcer believes we are
+		// a member of v and would wait on us forever; the nack lets it
+		// flush us out instead (receiveViewNack). The views reunite
+		// later by merge.
+		m.stats.ViewsRefused++
+		m.Ctx.Tracef("mbrship %s: refuse %v from %s (preds %v,%v; here %v)",
+			m.Ctx.Self(), v.ID, ev.Source, pred1, pred2, m.view.ID)
+		nack := message.New(nil)
+		wire.PushEndpointID(nack, v.ID.Coord)
+		nack.PushUint64(v.ID.Seq)
+		nack.PushUint8(kViewNack)
+		m.Ctx.Down(&core.Event{Type: core.DSend, Msg: nack,
+			Dests: []core.EndpointID{ev.Source}})
+		return
+	}
+	// We are moving to v: first deliver the pool of the flush that
+	// sealed our view into it — the rebroadcast forwards stashed under
+	// the sealing coordinator (the announcer itself on its own side of
+	// a merge, the requester coordinator on the other). They traveled
+	// the same FIFO channel as the flush that preceded this kView, so
+	// the stash is complete; delivering them *here* is what makes
+	// every member taking the v-edge agree on its deliveries.
+	if m.view != nil {
+		sealer := v.ID.Coord
+		if m.view.ID == pred2 && m.view.ID != pred1 {
+			sealer = sealer2
+		}
+		for _, e := range m.fwdStash[sealer] {
+			m.deliverFwd(e.origin, e.seq, e.wire, sealer)
+		}
+	}
 	m.install(v)
+}
+
+// receiveViewNack handles a member's refusal of a view we announced.
+// The refuser moved somewhere we cannot follow — typically into a
+// concurrent same-seq sibling sealed by another coordinator — so it
+// will never act as a member of our view. Treat it like a failure:
+// flush it out so the rest of the view makes progress, and let the
+// usual merge path reunite the two sides.
+func (m *Mbrship) receiveViewNack(ev *core.Event) {
+	refused := core.ViewID{Seq: ev.Msg.PopUint64(), Coord: wire.PopEndpointID(ev.Msg)}
+	if m.view == nil || m.view.ID != refused || !m.view.Contains(ev.Source) {
+		return
+	}
+	m.Ctx.Tracef("mbrship %s: %s refused %v; expelling it",
+		m.Ctx.Self(), ev.Source, refused)
+	m.suspect(ev.Source)
+	m.maybeStartFlush(false)
 }
 
 // install makes v the current view: upcall VIEW, downcall view, and
@@ -913,7 +1031,10 @@ func (m *Mbrship) install(v *core.View) {
 	m.flushCoord = core.EndpointID{}
 	m.mergeTarget = core.EndpointID{}
 	m.mergePeer = nil
-	m.mergePeerEpoch = 0
+	m.mergePeerView = core.ViewID{}
+	m.mergePeerSealer = core.EndpointID{}
+	m.fwdStash = nil
+	m.stashSize = 0
 	m.mergeReady = false
 	m.ownFlushDone = false
 	m.poolWait = nil
@@ -1005,7 +1126,8 @@ func (m *Mbrship) armFlushTimer() {
 			// leaving them hanging would make them suspect us.
 			m.state = stFlushing
 			m.mergePeer = nil
-			m.mergePeerEpoch = 0
+			m.mergePeerView = core.ViewID{}
+			m.mergePeerSealer = core.EndpointID{}
 			m.ownFlushDone = false
 			m.rebroadcastPool(m.survivors())
 			m.installNewView(m.survivors())
@@ -1115,10 +1237,13 @@ func (m *Mbrship) startMerge(contact core.EndpointID) {
 	}
 	if m.coordinator() != m.Ctx.Self() || m.state != stNormal {
 		// Only an idle coordinator merges; the MERGE layer retries.
+		m.Ctx.Tracef("mbrship %s: merge->%s dropped (state=%d coord=%v)",
+			m.Ctx.Self(), contact, m.state, m.coordinator())
 		m.Ctx.Up(&core.Event{Type: core.UMergeDenied, Contact: contact,
 			Reason: "local member busy or not coordinator"})
 		return
 	}
+	m.Ctx.Tracef("mbrship %s: merge req -> %s from %v", m.Ctx.Self(), contact, m.view.ID)
 	m.state = stMergingOut
 	m.mergeTarget = contact
 	m.mergeTries = 0
@@ -1181,6 +1306,7 @@ func (m *Mbrship) receiveMergeReq(ev *core.Event) {
 	reqView := wire.PopView(ev.Msg)
 	requester := ev.Source
 	deny := func(reason string) {
+		m.Ctx.Tracef("mbrship %s: deny merge from %s: %s", m.Ctx.Self(), requester, reason)
 		m.stats.MergesDenied++
 		msg := message.New(nil)
 		msg.PushString(reason)
@@ -1286,11 +1412,14 @@ func (m *Mbrship) receiveMergeDeny(ev *core.Event) {
 }
 
 // sendMergeReady tells the target coordinator that our side is
-// flushed, listing our survivors and our epoch (the union view must
-// outnumber both sides' epochs).
+// flushed, listing our survivors and our full view identity. The
+// union view's sequence must outnumber both sides' epochs, and the
+// union kView names our view as a predecessor so our survivors are
+// entitled to install it (receiveView).
 func (m *Mbrship) sendMergeReady() {
 	msg := message.New(nil)
-	msg.PushUint64(m.epoch)
+	wire.PushEndpointID(msg, m.view.ID.Coord)
+	msg.PushUint64(m.view.ID.Seq)
 	wire.PushIDList(msg, m.survivors())
 	msg.PushUint8(kMergeReady)
 	m.Ctx.Down(&core.Event{Type: core.DSend, Msg: msg, Dests: []core.EndpointID{m.mergeTarget}})
@@ -1299,12 +1428,13 @@ func (m *Mbrship) sendMergeReady() {
 // receiveMergeReady completes the merge at the granting coordinator.
 func (m *Mbrship) receiveMergeReady(ev *core.Event) {
 	peers := wire.PopIDList(ev.Msg)
-	epoch := ev.Msg.PopUint64()
+	peerView := core.ViewID{Seq: ev.Msg.PopUint64(), Coord: wire.PopEndpointID(ev.Msg)}
 	if m.state != stMergingIn {
 		return
 	}
 	m.mergePeer = peers
-	m.mergePeerEpoch = epoch
+	m.mergePeerView = peerView
+	m.mergePeerSealer = ev.Source
 	m.mergeReady = true
 	m.checkFlushComplete()
 }

@@ -98,6 +98,7 @@ func TestFutureEpochDataBufferedUntilView(t *testing.T) {
 	v := core.NewView(core.ViewID{Seq: 2, Coord: peer}, "test",
 		[]core.EndpointID{peer, h.Self()})
 	vm := message.New(nil)
+	pushPreds(vm, core.ViewID{Seq: 1, Coord: h.Self()}) // flushed from our singleton
 	pushView(vm, v)
 	vm.PushUint8(7) // kView
 	h.InjectUp(&core.Event{Type: core.USend, Msg: vm, Source: peer})
@@ -120,6 +121,7 @@ func TestOlderViewAnnouncementIgnored(t *testing.T) {
 	v3 := core.NewView(core.ViewID{Seq: 3, Coord: peer}, "test",
 		[]core.EndpointID{peer, h.Self()})
 	m3 := message.New(nil)
+	pushPreds(m3, core.ViewID{Seq: 1, Coord: h.Self()})
 	pushView(m3, v3)
 	m3.PushUint8(7)
 	h.InjectUp(&core.Event{Type: core.USend, Msg: m3, Source: peer})
@@ -127,6 +129,7 @@ func TestOlderViewAnnouncementIgnored(t *testing.T) {
 	v2 := core.NewView(core.ViewID{Seq: 2, Coord: peer}, "test",
 		[]core.EndpointID{peer})
 	m2 := message.New(nil)
+	pushPreds(m2, core.ViewID{Seq: 1, Coord: peer})
 	pushView(m2, v2)
 	m2.PushUint8(7)
 	h.InjectUp(&core.Event{Type: core.USend, Msg: m2, Source: peer})
@@ -143,6 +146,7 @@ func TestViewExcludingSelfIgnored(t *testing.T) {
 	v := core.NewView(core.ViewID{Seq: 5, Coord: peer}, "test",
 		[]core.EndpointID{peer})
 	m := message.New(nil)
+	pushPreds(m, core.ViewID{Seq: 4, Coord: peer})
 	pushView(m, v)
 	m.PushUint8(7)
 	h.InjectUp(&core.Event{Type: core.USend, Msg: m, Source: peer})
@@ -181,6 +185,17 @@ func TestGossipSkipsSingleton(t *testing.T) {
 func pushID(m *message.Message, id core.EndpointID) {
 	m.PushString(id.Site)
 	m.PushUint64(id.Birth)
+}
+
+// pushPreds mirrors installNewView's predecessor header: the sealed
+// view the announcement was flushed from (pred1) and a zero merge-peer
+// predecessor (pred2). Push before pushView.
+func pushPreds(m *message.Message, pred1 core.ViewID) {
+	pushID(m, core.EndpointID{}) // sealer2: no merge peer
+	pushID(m, core.EndpointID{}) // pred2: no merge peer
+	m.PushUint64(0)
+	pushID(m, pred1.Coord)
+	m.PushUint64(pred1.Seq)
 }
 
 // pushView mirrors wire.PushView for test message construction.
