@@ -177,6 +177,55 @@ func TestCheckFIFO(t *testing.T) {
 	}
 }
 
+// TestCheckFIFOForgivesReportedLoss: a within-view gap is legal exactly
+// when a LOST_MESSAGE report landed between the two deliveries — NAK
+// answered with a place holder for a trimmed range — and the report is
+// attributable to the gapped origin. A loss from an unrelated origin
+// forgives nothing.
+func TestCheckFIFOForgivesReportedLoss(t *testing.T) {
+	a, b, c := id("a", 1), id("b", 1), id("c", 1)
+	v1 := core.ViewID{Seq: 1, Coord: a}
+	origin := &History{Slot: 1, Inc: 0, ID: b} // named s1.0
+	other := &History{Slot: 2, Inc: 0, ID: c}  // named s2.0
+	reported := &History{Slot: 0, Inc: 0, ID: a, Deliveries: []Delivery{
+		{View: v1, Payload: "s1.0-1"},
+		{View: v1, Lost: true, From: b},
+		{View: v1, Payload: "s1.0-3"},
+	}}
+	if errs := CheckFIFO([]*History{reported, origin, other}); len(errs) != 0 {
+		t.Fatalf("reported gap flagged: %v", errs)
+	}
+	wrongOrigin := &History{Slot: 0, Inc: 0, ID: a, Deliveries: []Delivery{
+		{View: v1, Payload: "s1.0-1"},
+		{View: v1, Lost: true, From: c},
+		{View: v1, Payload: "s1.0-3"},
+	}}
+	if errs := CheckFIFO([]*History{wrongOrigin, origin, other}); len(errs) != 1 {
+		t.Fatalf("wrong-origin loss: got %v, want 1 violation", errs)
+	}
+	// A loss report is consumed by the next delivery from its origin:
+	// it does not forgive a second, later gap.
+	stale := &History{Slot: 0, Inc: 0, ID: a, Deliveries: []Delivery{
+		{View: v1, Payload: "s1.0-1"},
+		{View: v1, Lost: true, From: b},
+		{View: v1, Payload: "s1.0-3"},
+		{View: v1, Payload: "s1.0-5"},
+	}}
+	if errs := CheckFIFO([]*History{stale, origin, other}); len(errs) != 1 {
+		t.Fatalf("stale loss reused: got %v, want 1 violation", errs)
+	}
+	// A loss from a peer no history accounts for (e.g. a flush
+	// forwarder) forgives gaps in the view it was reported in.
+	unattributed := &History{Slot: 0, Inc: 0, ID: a, Deliveries: []Delivery{
+		{View: v1, Payload: "s1.0-1"},
+		{View: v1, Lost: true, From: id("ghost", 1)},
+		{View: v1, Payload: "s1.0-3"},
+	}}
+	if errs := CheckFIFO([]*History{unattributed, origin, other}); len(errs) != 0 {
+		t.Fatalf("unattributed loss not forgiven: %v", errs)
+	}
+}
+
 func TestCheckViewAgreement(t *testing.T) {
 	a, b := id("a", 1), id("b", 1)
 	v1 := view(1, a, a, b)

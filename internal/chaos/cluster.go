@@ -417,6 +417,10 @@ func (c *Cluster) Digest() string {
 		}
 		b.WriteString(" ] casts=[")
 		for _, d := range h.Deliveries {
+			if d.Lost {
+				fmt.Fprintf(&b, " %d:lost!", d.View.Seq)
+				continue
+			}
 			fmt.Fprintf(&b, " %d:%s", d.View.Seq, d.Payload)
 		}
 		b.WriteString(" ]\n")

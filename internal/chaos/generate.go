@@ -27,6 +27,12 @@ type GenConfig struct {
 // partition is in force at a time (partitions are global, so
 // overlapping ones would heal each other early).
 //
+// The default repertoire also exercises the fabric-level flow faults:
+// bandwidth squeezes (a link capped to a few KB/s, so bursts queue and
+// arrive late) and reorder bursts (the explicit hold-and-release rule,
+// so frames are overtaken regardless of send spacing). Both are
+// applied symmetrically and self-clean like every other incident.
+//
 // Harsh mode drops the survivability politeness and adds three
 // incident classes: multi-way partitions (three components, forcing
 // multi-way merges on heal), anchor crashes (slot 0 goes down, so the
@@ -52,9 +58,9 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 		return a, b
 	}
 
-	kinds := 5
+	kinds := 7
 	if cfg.Harsh {
-		kinds = 8
+		kinds = 10
 	}
 	var crashBusyUntil, partBusyUntil time.Duration
 	for i := 0; i < cfg.Incidents; i++ {
@@ -109,7 +115,20 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 					Note: fmt.Sprintf("rand split %v|%v", sides[0], sides[1])},
 				Action{At: start + hold, Kind: KindHeal, Note: "rand heal"})
 			partBusyUntil = start + hold + 300*time.Millisecond
-		case 5: // harsh: three-way partition, overlap allowed
+		case 5: // bandwidth squeeze on a symmetric link
+			a, b := pair()
+			bps := 8192 * (1 + rng.Intn(3)) // 8, 16, or 24 KB/s
+			base := netsim.Link{Delay: time.Millisecond, Jitter: 2 * time.Millisecond}
+			hold := dur(300*time.Millisecond, 800*time.Millisecond)
+			s = append(s, BandwidthSqueeze(start, hold, a, b, base, bps)...)
+		case 6: // reorder burst on a symmetric link
+			a, b := pair()
+			rate := 0.25 + rng.Float64()*0.35
+			depth := 2 + rng.Intn(4)
+			base := netsim.Link{Delay: time.Millisecond, Jitter: 2 * time.Millisecond}
+			hold := dur(300*time.Millisecond, 900*time.Millisecond)
+			s = append(s, ReorderBurst(start, hold, a, b, base, rate, depth)...)
+		case 7: // harsh: three-way partition, overlap allowed
 			sides := make([][]int, 0, 3)
 			buckets := make([][]int, 3)
 			for m := 0; m < cfg.Members; m++ {
@@ -130,7 +149,7 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 					Note: fmt.Sprintf("%d-way split", len(sides))},
 				Action{At: start + hold, Kind: KindHeal, Note: "multi heal"})
 			partBusyUntil = start + hold + 300*time.Millisecond
-		case 6: // harsh: anchor crash — slot 0 goes down, re-anchor required
+		case 8: // harsh: anchor crash — slot 0 goes down, re-anchor required
 			if start < crashBusyUntil {
 				continue
 			}
@@ -139,7 +158,7 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 			s[len(s)-2].Note = "anchor crash"
 			s[len(s)-1].Note = "anchor recover"
 			crashBusyUntil = start + hold + 300*time.Millisecond
-		case 7: // harsh: majority loss — half the cluster fail-stops at once
+		case 9: // harsh: majority loss — half the cluster fail-stops at once
 			if start < crashBusyUntil {
 				continue
 			}

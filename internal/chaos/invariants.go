@@ -29,10 +29,18 @@ type History struct {
 	Crashed    bool // this incarnation was crashed by the schedule
 }
 
-// Delivery is one cast delivered to the application.
+// Delivery is one event the application observed: a cast payload, or —
+// when Lost is set — a LOST_MESSAGE report (NAK answered a
+// retransmission request with a place holder because the sender's
+// buffer no longer held the range). Lost entries carry no payload; From
+// names the peer whose stream had the hole. They matter to the FIFO
+// checker: a within-view sequence gap is legal exactly when the
+// application was told about it.
 type Delivery struct {
 	View    core.ViewID
 	Payload string
+	Lost    bool
+	From    core.EndpointID
 }
 
 func (h *History) name() string { return fmt.Sprintf("s%d.%d", h.Slot, h.Inc) }
@@ -49,6 +57,8 @@ func (h *History) handler() core.Handler {
 			cur = ev.View.ID
 		case core.UCast:
 			h.Deliveries = append(h.Deliveries, Delivery{View: cur, Payload: string(ev.Msg.Body())})
+		case core.ULostMessage:
+			h.Deliveries = append(h.Deliveries, Delivery{View: cur, Lost: true, From: ev.Source})
 		}
 	}
 }
@@ -167,6 +177,9 @@ func CheckNoDuplicates(hs []*History) []error {
 	for _, h := range hs {
 		seen := map[string]core.ViewID{}
 		for _, d := range h.Deliveries {
+			if d.Lost {
+				continue
+			}
 			if first, dup := seen[d.Payload]; dup {
 				errs = append(errs, fmt.Errorf(
 					"no-duplicates: %s delivered %q twice (views %v and %v)",
@@ -181,11 +194,21 @@ func CheckNoDuplicates(hs []*History) []error {
 
 // CheckFIFO: per receiving incarnation and per origin tag, delivered
 // workload sequence numbers strictly increase overall and are
-// contiguous within a single view. Gaps are legal only across a view
+// contiguous within a single view. Gaps are legal across a view
 // boundary — a partition can hide a stretch of an origin's casts in
-// views the receiver was never part of, but within one shared view
-// reliable FIFO admits no holes.
+// views the receiver was never part of — and within a view only when
+// the hole was explicitly reported: NAK answers a request for a
+// trimmed range with a place holder that surfaces as LOST_MESSAGE
+// (paper §7), which happens under chaos when a receiver is excluded
+// from the view and the sender's buffer is trimmed to the surviving
+// members' acks. A recorded loss report from the origin (or from a
+// peer no history accounts for, e.g. a flush forwarder) between the
+// two deliveries forgives the gap; a silent hole is still a violation.
 func CheckFIFO(hs []*History) []error {
+	names := map[core.EndpointID]string{}
+	for _, h := range hs {
+		names[h.ID] = h.name()
+	}
 	var errs []error
 	for _, h := range hs {
 		type last struct {
@@ -193,7 +216,18 @@ func CheckFIFO(hs []*History) []error {
 			view core.ViewID
 		}
 		prev := map[string]last{}
+		lossSince := map[string]bool{} // origin -> loss reported since its last delivery
+		var lossAnyView *core.ViewID   // view holding a loss from a peer outside the histories
 		for _, d := range h.Deliveries {
+			if d.Lost {
+				if name, ok := names[d.From]; ok {
+					lossSince[name] = true
+				} else {
+					v := d.View
+					lossAnyView = &v
+				}
+				continue
+			}
 			origin, seq, ok := parsePayload(d.Payload)
 			if !ok {
 				errs = append(errs, fmt.Errorf("fifo: %s delivered unparseable payload %q", h.name(), d.Payload))
@@ -203,13 +237,15 @@ func CheckFIFO(hs []*History) []error {
 				if seq <= p.seq {
 					errs = append(errs, fmt.Errorf(
 						"fifo: %s delivered %s-%d after %s-%d", h.name(), origin, seq, origin, p.seq))
-				} else if seq != p.seq+1 && d.View == p.view {
+				} else if seq != p.seq+1 && d.View == p.view && !lossSince[origin] &&
+					(lossAnyView == nil || *lossAnyView != d.View) {
 					errs = append(errs, fmt.Errorf(
 						"fifo: %s has a gap within view %v: %s-%d follows %s-%d",
 						h.name(), d.View, origin, seq, origin, p.seq))
 				}
 			}
 			prev[origin] = last{seq, d.View}
+			delete(lossSince, origin)
 		}
 	}
 	return errs
@@ -263,7 +299,7 @@ func CheckViewAgreement(hs []*History) []error {
 func deliverySet(h *History, v core.ViewID) map[string]bool {
 	set := map[string]bool{}
 	for _, d := range h.Deliveries {
-		if d.View == v {
+		if d.View == v && !d.Lost {
 			set[d.Payload] = true
 		}
 	}

@@ -64,8 +64,15 @@ type Action struct {
 func (a Action) String() string {
 	switch a.Kind {
 	case KindSetLink, KindSetLinkDirected:
-		return fmt.Sprintf("%8v %s s%d-s%d loss=%.2f delay=%v %s",
-			a.At, a.Kind, a.A, a.B, a.Link.LossRate, a.Link.Delay, a.Note)
+		extra := ""
+		if a.Link.Bandwidth > 0 {
+			extra = fmt.Sprintf(" bw=%dB/s", a.Link.Bandwidth)
+		}
+		if a.Link.ReorderRate > 0 {
+			extra += fmt.Sprintf(" reorder=%.2f/k%d", a.Link.ReorderRate, a.Link.ReorderDepth)
+		}
+		return fmt.Sprintf("%8v %s s%d-s%d loss=%.2f delay=%v%s %s",
+			a.At, a.Kind, a.A, a.B, a.Link.LossRate, a.Link.Delay, extra, a.Note)
 	case KindClearLink:
 		return fmt.Sprintf("%8v %s s%d-s%d %s", a.At, a.Kind, a.A, a.B, a.Note)
 	case KindCrash, KindRecover:
@@ -186,5 +193,34 @@ func CrashRecover(start, dwell time.Duration, a int) Schedule {
 	return Schedule{
 		{At: start, Kind: KindCrash, A: a},
 		{At: start + dwell, Kind: KindRecover, A: a},
+	}
+}
+
+// BandwidthSqueeze caps the symmetric a-b link at `bps` bytes per
+// second for `dwell`, then clears. The base link (delay, jitter) is
+// taken from l; while the cap holds, bursts queue behind each other
+// and the fabric's Throttled ledger counts every frame that waited.
+func BandwidthSqueeze(start, dwell time.Duration, a, b int, l netsim.Link, bps int) Schedule {
+	li := l
+	li.Bandwidth = bps
+	return Schedule{
+		{At: start, Kind: KindSetLink, A: a, B: b, Link: li, Note: "bw squeeze"},
+		{At: start + dwell, Kind: KindClearLink, A: a, B: b, Note: "bw squeeze end"},
+	}
+}
+
+// ReorderBurst arms the explicit reorder rule on the symmetric a-b
+// link for `dwell`, then clears: each frame is held with probability
+// `rate` until `depth` later frames overtake it. The base link comes
+// from l; reordering beyond jitter is exactly the hazard that breaks
+// naive layer composition over non-FIFO channels, so schedules use
+// this to prove NAK's FIFO restoration under real inversions.
+func ReorderBurst(start, dwell time.Duration, a, b int, l netsim.Link, rate float64, depth int) Schedule {
+	li := l
+	li.ReorderRate = rate
+	li.ReorderDepth = depth
+	return Schedule{
+		{At: start, Kind: KindSetLink, A: a, B: b, Link: li, Note: "reorder burst"},
+		{At: start + dwell, Kind: KindClearLink, A: a, B: b, Note: "reorder burst end"},
 	}
 }

@@ -13,10 +13,11 @@
 //
 // The proxy identifies the sender by source address (udpnet sends
 // from its listen socket), looks up the directed (src, dst) link
-// rule — the same netsim.Link vocabulary the simulator uses, minus
-// Bandwidth — and forwards, delays, duplicates, garbles, or drops the
-// frame. Crashes, detaches, and partitions are enforced the same way:
-// a frame to or from a crashed member, or across partition
+// rule — the full netsim.Link vocabulary the simulator uses, including
+// Bandwidth serialization and the explicit reorder rule — and
+// forwards, delays, throttles, holds back, duplicates, garbles, or
+// drops the frame. Crashes, detaches, and partitions are enforced the
+// same way: a frame to or from a crashed member, or across partition
 // components, is swallowed.
 //
 // The package implements the chaos.Fabric interface structurally (it
@@ -39,13 +40,18 @@ import (
 	"horus/internal/udpnet"
 )
 
-// Stats counts proxy-level activity across all members.
+// Stats counts proxy-level activity across all members — the fault
+// ledger attached to every UDP seed line. Reordered and Throttled
+// mirror the netsim counters of the same names, so the two fabrics
+// report rule firings in the same vocabulary.
 type Stats struct {
 	Forwarded  int // frames relayed to a member's real socket
 	Dropped    int // frames dropped by a link's loss rate
 	Blocked    int // frames dropped by crash, detach, or partition
 	Duplicated int // extra copies delivered by duplication
 	Garbled    int // frames corrupted in flight
+	Reordered  int // frames held back by the reorder rule
+	Throttled  int // frames that queued behind earlier traffic (bandwidth)
 	Unknown    int // frames from an unrecognized source address
 }
 
@@ -90,6 +96,8 @@ type Fabric struct {
 	part      map[core.EndpointID]int
 	nodes     map[core.EndpointID]*node
 	bySrc     map[string]core.EndpointID // member real addr -> member
+	linkFree  map[pair]time.Duration     // directed link busy-until (bandwidth model)
+	held      map[pair][]*heldFrame      // directed link reorder holds
 	nextBirth uint64
 	stats     Stats
 	retired   udpnet.Stats // transport counters of detached incarnations
@@ -97,6 +105,15 @@ type Fabric struct {
 	closed    bool
 
 	wg sync.WaitGroup
+}
+
+// heldFrame is one frame parked by the reorder rule, waiting for
+// `remaining` later departures on its directed link (or the hold
+// backstop timer) before it is dispatched.
+type heldFrame struct {
+	remaining int
+	released  bool
+	fire      func() // dispatch with a fresh delay draw; call with f.mu held
 }
 
 // New builds an empty UDP fabric; endpoints attach via NewEndpoint.
@@ -114,6 +131,8 @@ func New(cfg Config) *Fabric {
 		part:      make(map[core.EndpointID]int),
 		nodes:     make(map[core.EndpointID]*node),
 		bySrc:     make(map[string]core.EndpointID),
+		linkFree:  make(map[pair]time.Duration),
+		held:      make(map[pair][]*heldFrame),
 		nextBirth: 1,
 	}
 }
@@ -212,29 +231,129 @@ func (f *Fabric) route(n *node, src string, pkt []byte) {
 		copies = 2
 		f.stats.Duplicated++
 	}
-	delays := make([]time.Duration, copies)
-	for i := range delays {
-		delays[i] = l.Delay
-		if l.Jitter > 0 {
-			delays[i] += time.Duration(f.rng.Int63n(int64(l.Jitter)))
+	dir := pair{from, n.id}
+	var delays []time.Duration
+	for i := 0; i < copies; i++ {
+		if l.ReorderRate > 0 && f.rng.Float64() < l.ReorderRate {
+			f.holdLocked(dir, n, pkt, l)
+			continue
 		}
+		delays = append(delays, f.xmitDelayLocked(dir, l, len(pkt)))
+		f.departLocked(dir)
 	}
 	f.mu.Unlock()
 
 	for _, d := range delays {
-		send := func() {
-			if _, err := n.proxy.WriteToUDP(pkt, n.real); err != nil {
-				return // member socket gone; the frame is just lost
-			}
-			f.mu.Lock()
-			f.stats.Forwarded++
-			f.mu.Unlock()
-		}
 		if d <= 0 {
-			send()
+			f.deliver(n, pkt)
 		} else {
-			time.AfterFunc(d, send)
+			time.AfterFunc(d, func() { f.deliver(n, pkt) })
 		}
+	}
+}
+
+// deliver writes one frame to the member's real socket and counts it.
+func (f *Fabric) deliver(n *node, pkt []byte) {
+	if _, err := n.proxy.WriteToUDP(pkt, n.real); err != nil {
+		return // member socket gone; the frame is just lost
+	}
+	f.mu.Lock()
+	f.stats.Forwarded++
+	f.mu.Unlock()
+}
+
+// xmitDelayLocked computes one frame's time on the directed link:
+// propagation delay, jitter, and — when Link.Bandwidth caps the pair —
+// the wait for the link to drain plus the frame's own serialization
+// time, exactly netsim's model in wall-clock time. The link state is a
+// token bucket draining at Bandwidth bytes/s: linkFree is when the
+// bucket next has room, and a frame finding it in the future queues
+// behind the backlog. Callers hold f.mu.
+func (f *Fabric) xmitDelayLocked(dir pair, l netsim.Link, size int) time.Duration {
+	d := l.Delay
+	if l.Jitter > 0 {
+		d += time.Duration(f.rng.Int63n(int64(l.Jitter)))
+	}
+	if l.Bandwidth > 0 {
+		now := time.Since(f.start)
+		depart := now
+		if busy := f.linkFree[dir]; busy > depart {
+			depart = busy
+			f.stats.Throttled++
+		}
+		xmit := time.Duration(int64(size) * int64(time.Second) / int64(l.Bandwidth))
+		f.linkFree[dir] = depart + xmit
+		d += depart + xmit - now
+	}
+	return d
+}
+
+// holdLocked parks one frame under the reorder rule: it is dispatched
+// after ReorderDepth later departures on the same directed link, or
+// when the hold backstop expires on a link gone quiet — the same
+// hold-and-release semantics as netsim. Callers hold f.mu.
+func (f *Fabric) holdLocked(dir pair, n *node, pkt []byte, l netsim.Link) {
+	depth := l.ReorderDepth
+	if depth <= 0 {
+		depth = netsim.DefaultReorderDepth
+	}
+	hold := l.ReorderHold
+	if hold <= 0 {
+		hold = netsim.DefaultReorderHold
+	}
+	f.stats.Reordered++
+	h := &heldFrame{remaining: depth}
+	h.fire = func() {
+		// The rule table may have changed while the frame was held;
+		// draw its delay from the link in force at release time, as
+		// netsim does.
+		d := f.xmitDelayLocked(dir, f.linkFor(dir.a, dir.b), len(pkt))
+		if d < 0 {
+			d = 0
+		}
+		time.AfterFunc(d, func() { f.deliver(n, pkt) })
+	}
+	f.held[dir] = append(f.held[dir], h)
+	f.timers = append(f.timers, time.AfterFunc(hold, func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.closed || h.released {
+			return
+		}
+		h.released = true
+		hs := f.held[dir]
+		for i, x := range hs {
+			if x == h {
+				f.held[dir] = append(hs[:i], hs[i+1:]...)
+				break
+			}
+		}
+		h.fire()
+	}))
+}
+
+// departLocked counts one departure on a directed link against its
+// held frames, releasing any whose depth is exhausted. Callers hold
+// f.mu.
+func (f *Fabric) departLocked(dir pair) {
+	hs := f.held[dir]
+	if len(hs) == 0 {
+		return
+	}
+	keep := hs[:0]
+	var release []*heldFrame
+	for _, h := range hs {
+		h.remaining--
+		if h.remaining <= 0 {
+			h.released = true
+			release = append(release, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	f.held[dir] = keep
+	for _, h := range release {
+		h.fire()
 	}
 }
 
@@ -328,6 +447,16 @@ func (f *Fabric) Detach(id core.EndpointID) {
 	for p := range f.links {
 		if p.a == id || p.b == id {
 			delete(f.links, p)
+		}
+	}
+	for p := range f.linkFree {
+		if p.a == id || p.b == id {
+			delete(f.linkFree, p)
+		}
+	}
+	for p := range f.held {
+		if p.a == id || p.b == id {
+			delete(f.held, p)
 		}
 	}
 	f.mu.Unlock()

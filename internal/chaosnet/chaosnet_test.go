@@ -110,3 +110,121 @@ func TestProxyAppliesLossAndDirectedLinks(t *testing.T) {
 	f.route(nb, na.real.String(), frame)
 	waitFor(t, func() bool { return f.Stats().Forwarded == 2 })
 }
+
+// TestProxyReorderHoldAndRelease: a frame held by the reorder rule is
+// overtaken by exactly ReorderDepth later departures; the ledger
+// records the hold.
+func TestProxyReorderHoldAndRelease(t *testing.T) {
+	f := New(Config{Seed: 5})
+	defer f.Close()
+	epA := f.NewEndpoint("a")
+	epB := f.NewEndpoint("b")
+	a, b := epA.ID(), epB.ID()
+
+	var na, nb *node
+	f.mu.Lock()
+	na, nb = f.nodes[a], f.nodes[b]
+	f.mu.Unlock()
+
+	// Hold the first frame, then disarm the rule so the followers
+	// depart normally and count against its depth.
+	f.SetLinkDirected(a, b, netsim.Link{ReorderRate: 1, ReorderDepth: 2})
+	f.route(nb, na.real.String(), []byte{0, 0, 'x'})
+	waitFor(t, func() bool { return f.Stats().Reordered == 1 })
+	if got := f.Stats().Forwarded; got != 0 {
+		t.Fatalf("held frame forwarded %d times before release", got)
+	}
+	f.ClearLink(a, b)
+	f.route(nb, na.real.String(), []byte{0, 0, 'y'})
+	f.route(nb, na.real.String(), []byte{0, 0, 'z'})
+	// Two departures exhaust the depth: all three frames arrive.
+	waitFor(t, func() bool { return f.Stats().Forwarded == 3 })
+}
+
+// TestProxyReorderBackstopReleasesQuietLink: with no follow-up traffic
+// the hold timer releases the frame — the rule delays, never loses.
+func TestProxyReorderBackstopReleasesQuietLink(t *testing.T) {
+	f := New(Config{Seed: 6})
+	defer f.Close()
+	epA := f.NewEndpoint("a")
+	epB := f.NewEndpoint("b")
+	a, b := epA.ID(), epB.ID()
+
+	var na, nb *node
+	f.mu.Lock()
+	na, nb = f.nodes[a], f.nodes[b]
+	f.mu.Unlock()
+
+	f.SetLinkDirected(a, b, netsim.Link{
+		ReorderRate: 1, ReorderDepth: 5, ReorderHold: 30 * time.Millisecond,
+	})
+	f.route(nb, na.real.String(), []byte{0, 0, 'q'})
+	waitFor(t, func() bool { return f.Stats().Forwarded == 1 })
+	if got := f.Stats().Reordered; got != 1 {
+		t.Fatalf("Reordered = %d, want 1", got)
+	}
+}
+
+// TestProxyBandwidthSerializes: a burst over a capped link queues, the
+// ledger counts every frame that waited, and all of them still arrive.
+func TestProxyBandwidthSerializes(t *testing.T) {
+	f := New(Config{Seed: 7})
+	defer f.Close()
+	epA := f.NewEndpoint("a")
+	epB := f.NewEndpoint("b")
+	a, b := epA.ID(), epB.ID()
+
+	var na, nb *node
+	f.mu.Lock()
+	na, nb = f.nodes[a], f.nodes[b]
+	f.mu.Unlock()
+
+	// 3-byte frames at 1000 B/s: 3ms of link each; a burst of 5 makes
+	// every frame after the first queue behind the backlog.
+	f.SetLinkDirected(a, b, netsim.Link{Bandwidth: 1000})
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		f.route(nb, na.real.String(), []byte{0, 0, byte('0' + i)})
+	}
+	waitFor(t, func() bool { return f.Stats().Forwarded == 5 })
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("burst drained in %v, want >= 12ms of serialization", elapsed)
+	}
+	if got := f.Stats().Throttled; got != 4 {
+		t.Fatalf("Throttled = %d, want 4 (burst of 5, first finds the link idle)", got)
+	}
+}
+
+// TestGarbleLedgerMatchesDecodeErrors: every frame the proxy corrupts
+// is a frame udpnet refuses to decode — the proxy's garble ledger and
+// the transport's Malformed counter must agree exactly. The frames are
+// bare 2-byte headers (empty group, empty payload), so any single-byte
+// flip turns the length prefix into a promise the datagram cannot
+// keep.
+func TestGarbleLedgerMatchesDecodeErrors(t *testing.T) {
+	f := New(Config{Seed: 8})
+	defer f.Close()
+	epA := f.NewEndpoint("a")
+	epB := f.NewEndpoint("b")
+	a, b := epA.ID(), epB.ID()
+
+	var na, nb *node
+	f.mu.Lock()
+	na, nb = f.nodes[a], f.nodes[b]
+	f.mu.Unlock()
+
+	f.SetLinkDirected(a, b, netsim.Link{GarbleRate: 1})
+	const frames = 25
+	for i := 0; i < frames; i++ {
+		f.route(nb, na.real.String(), []byte{0, 0})
+	}
+	waitFor(t, func() bool {
+		return f.Stats().Forwarded == frames && f.TransportStats().Malformed == frames
+	})
+	if got := f.Stats().Garbled; got != frames {
+		t.Fatalf("Garbled = %d, want %d", got, frames)
+	}
+	if got := f.TransportStats().Malformed; got != uint64(frames) {
+		t.Fatalf("Malformed = %d, want %d (every garbled frame must fail decode)", got, frames)
+	}
+}

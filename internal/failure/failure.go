@@ -17,6 +17,7 @@
 package failure
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -31,7 +32,15 @@ type Service struct {
 	reports   map[core.EndpointID]map[core.EndpointID]bool // suspect -> observers
 	faulty    map[core.EndpointID]bool
 	subs      []func(faulty []core.EndpointID)
+	phiSrcs   []PhiSource
 }
+
+// PhiSource reports a continuous suspicion level (φ-accrual scale) for
+// an endpoint; zero means "no evidence against it". A group's HBEAT
+// layer is the canonical source: register a closure over hbeat.Phi,
+// routed through Endpoint.Do so the layer is read on its own stack
+// goroutine.
+type PhiSource func(core.EndpointID) float64
 
 // NewService returns a service that declares an endpoint faulty after
 // reports from threshold distinct observers (minimum 1).
@@ -52,6 +61,41 @@ func (s *Service) Subscribe(fn func(faulty []core.EndpointID)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.subs = append(s.subs, fn)
+}
+
+// AddPhiSource registers a continuous suspicion source. Sources are
+// called without internal locks held, so a source may itself take
+// locks (e.g. Endpoint.Do).
+func (s *Service) AddPhiSource(src PhiSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.phiSrcs = append(s.phiSrcs, src)
+}
+
+// Phi returns the service's continuous suspicion of e: the maximum
+// level any registered source reports, or +Inf once e has been
+// declared faulty (the binary verdict dominates whatever the sources
+// currently see — a faulty endpoint does not become trustworthy by
+// going quiet). Consumers get the graded signal the paper's binary
+// PROBLEM reports flatten away: a load balancer can shed traffic at
+// φ=1 long before the membership layer excludes the member at its
+// configured threshold.
+func (s *Service) Phi(e core.EndpointID) float64 {
+	s.mu.Lock()
+	if s.faulty[e] {
+		s.mu.Unlock()
+		return math.Inf(1)
+	}
+	srcs := make([]PhiSource, len(s.phiSrcs))
+	copy(srcs, s.phiSrcs)
+	s.mu.Unlock()
+	var max float64
+	for _, src := range srcs {
+		if phi := src(e); phi > max {
+			max = phi
+		}
+	}
+	return max
 }
 
 // Report records that observer suspects suspect. If the threshold is

@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"math"
 	"testing"
 
 	"horus/internal/core"
@@ -60,6 +61,42 @@ func TestClearForgets(t *testing.T) {
 	s.Clear(id("x", 9))
 	if got := s.Faulty(); len(got) != 0 {
 		t.Errorf("Faulty after Clear = %v", got)
+	}
+}
+
+// TestPhiPassthrough: the service exposes the maximum continuous
+// suspicion across its registered sources, so a consumer reads one
+// graded signal no matter how many groups (HBEAT layers) feed the
+// detector. An endpoint with no evidence scores zero; one already
+// declared faulty scores +Inf regardless of what the sources say.
+func TestPhiPassthrough(t *testing.T) {
+	s := NewService(1)
+	x, y := id("x", 9), id("y", 5)
+	s.AddPhiSource(func(e core.EndpointID) float64 {
+		if e == x {
+			return 1.5
+		}
+		return 0
+	})
+	s.AddPhiSource(func(e core.EndpointID) float64 {
+		if e == x {
+			return 0.7 // a less suspicious observer must not mask the max
+		}
+		return 0
+	})
+	if got := s.Phi(x); got != 1.5 {
+		t.Errorf("Phi(x) = %v, want the max across sources (1.5)", got)
+	}
+	if got := s.Phi(y); got != 0 {
+		t.Errorf("Phi(y) = %v, want 0 for an unsuspected endpoint", got)
+	}
+	s.Report(id("a", 1), y)
+	if got := s.Phi(y); !math.IsInf(got, 1) {
+		t.Errorf("Phi(y) after verdict = %v, want +Inf", got)
+	}
+	s.Clear(y)
+	if got := s.Phi(y); got != 0 {
+		t.Errorf("Phi(y) after Clear = %v, want 0", got)
 	}
 }
 

@@ -42,7 +42,28 @@ type Link struct {
 	// time — which is how the compression layer's "improve bandwidth
 	// use" benefit is measured.
 	Bandwidth int
+	// ReorderRate is the probability a packet is held back and
+	// released out of order: a held packet re-enters the link only
+	// after ReorderDepth later packets have departed on the same
+	// directed link (or after ReorderHold of link silence, whichever
+	// comes first), so it arrives behind traffic sent after it. Unlike
+	// Jitter — which only reorders when it exceeds the inter-send gap —
+	// the explicit rule guarantees inversions at any send rate.
+	ReorderRate float64
+	// ReorderDepth is how many subsequent departures overtake a held
+	// packet before it is released; zero means 3.
+	ReorderDepth int
+	// ReorderHold caps how long a held packet waits for followers on a
+	// link that has gone quiet; zero means 250ms.
+	ReorderHold time.Duration
 }
+
+// Reorder-rule defaults, shared by every fabric that implements the
+// vocabulary (netsim here, chaosnet over real sockets).
+const (
+	DefaultReorderDepth = 3
+	DefaultReorderHold  = 250 * time.Millisecond
+)
 
 // Config configures a simulated network.
 type Config struct {
@@ -63,6 +84,8 @@ type Stats struct {
 	Duplicated int // extra deliveries due to duplication
 	Blocked    int // packets dropped by partition or crash
 	Bytes      int // wire bytes delivered
+	Reordered  int // packets held back by the reorder rule
+	Throttled  int // packets that queued behind earlier traffic (bandwidth)
 }
 
 // Network is a simulated broadcast medium connecting endpoints. It
@@ -82,8 +105,18 @@ type Network struct {
 	crashed   map[core.EndpointID]bool
 	partition map[core.EndpointID]int // partition id; absent = 0
 	linkFree  map[pair]time.Duration  // directed link busy-until (bandwidth model)
+	held      map[pair][]*heldPacket  // directed link reorder holds
 	nextBirth uint64
 	stats     Stats
+}
+
+// heldPacket is one packet parked by the reorder rule, waiting for
+// `remaining` later departures on its directed link (or the hold
+// backstop) before it transmits.
+type heldPacket struct {
+	remaining int
+	released  bool
+	send      func() // transmit; call with n.mu held
 }
 
 type pair struct{ a, b core.EndpointID }
@@ -98,6 +131,7 @@ func New(cfg Config) *Network {
 		crashed:   make(map[core.EndpointID]bool),
 		partition: make(map[core.EndpointID]int),
 		linkFree:  make(map[pair]time.Duration),
+		held:      make(map[pair][]*heldPacket),
 		nextBirth: 1,
 	}
 }
@@ -203,6 +237,16 @@ func (n *Network) Detach(id core.EndpointID) {
 			delete(n.links, p)
 		}
 	}
+	for p := range n.linkFree {
+		if p.a == id || p.b == id {
+			delete(n.linkFree, p)
+		}
+	}
+	for p := range n.held {
+		if p.a == id || p.b == id {
+			delete(n.held, p)
+		}
+	}
 }
 
 // Crashed reports whether the endpoint has been crashed.
@@ -290,35 +334,116 @@ func (n *Network) sendOneLocked(from core.EndpointID, group core.GroupAddr, dst 
 			buf[n.rng.Intn(len(buf))] ^= byte(1 + n.rng.Intn(255))
 			n.stats.Garbled++
 		}
-		delay := l.Delay
-		if l.Jitter > 0 {
-			delay += time.Duration(n.rng.Int63n(int64(l.Jitter)))
+		if l.ReorderRate > 0 && n.rng.Float64() < l.ReorderRate {
+			n.holdLocked(from, group, dst, buf, l)
+			continue
 		}
-		if l.Bandwidth > 0 {
-			// Serialize on the directed link: the packet departs when
-			// the link is free and occupies it for size/Bandwidth.
-			dir := pair{a: from, b: dst}
-			depart := n.now
-			if busy := n.linkFree[dir]; busy > depart {
-				depart = busy
-			}
-			xmit := time.Duration(int64(len(buf)) * int64(time.Second) / int64(l.Bandwidth))
-			n.linkFree[dir] = depart + xmit
-			delay += depart + xmit - n.now
+		n.transmitLocked(from, group, dst, buf)
+		n.departLocked(pair{a: from, b: dst})
+	}
+}
+
+// transmitLocked puts one packet on the directed link: propagation
+// delay, jitter, and bandwidth serialization, then a scheduled
+// delivery. The link rule is read at transmit time, so a packet
+// released from a reorder hold sees the rule in force when it actually
+// departs. Caller holds n.mu.
+func (n *Network) transmitLocked(from core.EndpointID, group core.GroupAddr, dst core.EndpointID, buf []byte) {
+	ep := n.endpoints[dst]
+	if ep == nil || n.crashed[dst] {
+		n.stats.Blocked++
+		return
+	}
+	l := n.linkFor(from, dst)
+	delay := l.Delay
+	if l.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(l.Jitter)))
+	}
+	if l.Bandwidth > 0 {
+		// Serialize on the directed link: the packet departs when
+		// the link is free and occupies it for size/Bandwidth.
+		dir := pair{a: from, b: dst}
+		depart := n.now
+		if busy := n.linkFree[dir]; busy > depart {
+			depart = busy
+			n.stats.Throttled++
 		}
-		dstEp, dstID := ep, dst
-		n.scheduleLocked(n.now+delay, func() {
-			n.mu.Lock()
-			dead := n.crashed[dstID]
-			if !dead {
-				n.stats.Delivered++
-				n.stats.Bytes += len(buf)
+		xmit := time.Duration(int64(len(buf)) * int64(time.Second) / int64(l.Bandwidth))
+		n.linkFree[dir] = depart + xmit
+		delay += depart + xmit - n.now
+	}
+	dstEp, dstID := ep, dst
+	n.scheduleLocked(n.now+delay, func() {
+		n.mu.Lock()
+		dead := n.crashed[dstID]
+		if !dead {
+			n.stats.Delivered++
+			n.stats.Bytes += len(buf)
+		}
+		n.mu.Unlock()
+		if !dead {
+			dstEp.Deliver(group, buf)
+		}
+	})
+}
+
+// holdLocked parks one packet under the reorder rule: it transmits
+// after ReorderDepth later departures on the same directed link, or
+// after ReorderHold if the link goes quiet first. Caller holds n.mu.
+func (n *Network) holdLocked(from core.EndpointID, group core.GroupAddr, dst core.EndpointID, buf []byte, l Link) {
+	depth := l.ReorderDepth
+	if depth <= 0 {
+		depth = DefaultReorderDepth
+	}
+	hold := l.ReorderHold
+	if hold <= 0 {
+		hold = DefaultReorderHold
+	}
+	n.stats.Reordered++
+	dir := pair{a: from, b: dst}
+	h := &heldPacket{remaining: depth}
+	h.send = func() { n.transmitLocked(from, group, dst, buf) }
+	n.held[dir] = append(n.held[dir], h)
+	n.scheduleLocked(n.now+hold, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if h.released {
+			return
+		}
+		h.released = true
+		hs := n.held[dir]
+		for i, x := range hs {
+			if x == h {
+				n.held[dir] = append(hs[:i], hs[i+1:]...)
+				break
 			}
-			n.mu.Unlock()
-			if !dead {
-				dstEp.Deliver(group, buf)
-			}
-		})
+		}
+		h.send()
+	})
+}
+
+// departLocked counts one departure on a directed link against its
+// held packets, releasing any whose depth is exhausted. Caller holds
+// n.mu.
+func (n *Network) departLocked(dir pair) {
+	hs := n.held[dir]
+	if len(hs) == 0 {
+		return
+	}
+	keep := hs[:0]
+	var release []*heldPacket
+	for _, h := range hs {
+		h.remaining--
+		if h.remaining <= 0 {
+			h.released = true
+			release = append(release, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	n.held[dir] = keep
+	for _, h := range release {
+		h.send()
 	}
 }
 
