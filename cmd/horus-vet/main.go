@@ -1,0 +1,149 @@
+// Command horus-vet is the multichecker for the repo's own static
+// analysis suite: it loads the packages matched by its arguments
+// (default ./..., including test files) and applies the three
+// analyzers under internal/analysis —
+//
+//	stackcheck  Table 3 well-formedness of constant stack literals
+//	detlint     determinism contract of sim-driven packages
+//	hcpilint    HCPI discipline: locks vs upcalls, header direction
+//
+// Diagnostics print one per line, go-vet style; the exit status is 1
+// when anything was found, 2 on a load failure, 0 when clean. CI runs
+// `go run ./cmd/horus-vet ./...` as a gating step; see DESIGN.md for
+// the annotation contract (//horus:wallclock and friends).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"horus/internal/analysis"
+	"horus/internal/analysis/detlint"
+	"horus/internal/analysis/hcpilint"
+	"horus/internal/analysis/load"
+	"horus/internal/analysis/stackcheck"
+)
+
+// suite is the full analyzer set, in reporting order.
+var suite = []*analysis.Analyzer{
+	stackcheck.Analyzer,
+	detlint.Analyzer,
+	hcpilint.Analyzer,
+}
+
+func main() {
+	tests := flag.Bool("tests", true, "analyze test files too")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: horus-vet [flags] [package patterns]\n\nanalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := selectAnalyzers(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "horus-vet:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := vet(os.Stdout, load.Config{Tests: *tests}, analyzers, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "horus-vet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "horus-vet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves a comma-separated -run list against the
+// suite; empty means everything.
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// vet loads the patterns, applies the analyzers to every unit, prints
+// sorted diagnostics to w, and returns how many it found. Type-check
+// problems in loaded code are findings too: analysis over a package
+// that does not compile cannot be trusted, and `go build` gates CI
+// anyway.
+func vet(w io.Writer, cfg load.Config, analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+	pkgs, err := load.Load(cfg, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	type finding struct {
+		pos string
+		msg string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			findings = append(findings, finding{pos: pkg.PkgPath, msg: fmt.Sprintf("type error: %v", terr)})
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, finding{
+					pos: pkg.Fset.Position(d.Pos).String(),
+					msg: fmt.Sprintf("%s (%s)", d.Message, d.Analyzer),
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return len(findings), fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].msg < findings[j].msg
+	})
+	// The "test" unit re-analyzes the package's non-test files, so
+	// identical findings appear once per unit; deduplicate.
+	seen := make(map[string]bool)
+	n := 0
+	for _, f := range findings {
+		key := f.pos + "\x00" + f.msg
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fmt.Fprintf(w, "%s: %s\n", f.pos, f.msg)
+		n++
+	}
+	return n, nil
+}

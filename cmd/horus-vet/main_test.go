@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"horus/internal/analysis/load"
+)
+
+// TestVetFlagsMalformedStack drives the whole pipeline — load,
+// analyze, print, count — over a throwaway overlay package holding the
+// canonical ill-formed literal.
+func TestVetFlagsMalformedStack(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import "horus/internal/stackreg"
+
+var _, _ = stackreg.Build("TOTAL:COM", 1)
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := load.Config{Overlay: map[string]string{"badmod/bad": dir}}
+	n, err := vet(&buf, cfg, suite, []string{"badmod/bad"})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("vet found %d findings, want 1\n%s", n, buf.String())
+	}
+	for _, want := range []string{"malformed stack", "TOTAL:COM", "stackcheck"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestVetCleanPackage checks the zero-findings path over a real,
+// disciplined module package.
+func TestVetCleanPackage(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := vet(&buf, load.Config{Dir: "../.."}, suite, []string{"./internal/property"})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("vet found %d findings on internal/property, want 0\n%s", n, buf.String())
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(suite) {
+		t.Fatalf("empty -run: got %d analyzers, err %v", len(all), err)
+	}
+	one, err := selectAnalyzers("detlint")
+	if err != nil || len(one) != 1 || one[0].Name != "detlint" {
+		t.Fatalf("-run detlint: got %v, err %v", one, err)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("-run nosuch: expected error")
+	}
+}

@@ -1,0 +1,121 @@
+// Package detlint enforces the determinism contract that makes the
+// chaos and differential suites trustworthy: sim-driven code must take
+// time from the sched/transport virtual clock and randomness from a
+// seeded *rand.Rand, and must run on the endpoint event queue rather
+// than ad-hoc goroutines. Concretely, inside horus/internal/...
+// non-test files it forbids
+//
+//   - wall-clock reads and timers: time.Now, time.Sleep, time.After,
+//     time.AfterFunc, time.Tick, time.NewTimer, time.NewTicker,
+//     time.Since, time.Until;
+//   - the process-global math/rand generator (rand.Intn, rand.Seed,
+//     ...); constructing a seeded generator via rand.New/NewSource
+//     stays legal, and methods on a *rand.Rand are untouched;
+//   - bare go statements, which escape the run-to-completion
+//     event-queue model of paper §3/§10.
+//
+// The packages that genuinely bridge to the real world — udpnet, the
+// chaosnet proxy, netsim's real-time transport, sched's wall-clock
+// waits — opt out per file with a "//horus:wallclock — <reason>"
+// marker in the file header. The marker must sit at the top of the
+// file (package clause or above), so an exemption is visible before
+// any code and a new escape cannot hide behind an old annotation
+// elsewhere in the package.
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"horus/internal/analysis"
+	"horus/internal/analysis/annot"
+)
+
+// Analyzer is the detlint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detlint",
+	Doc: "forbid wall-clock time, global math/rand and bare goroutines " +
+		"in sim-driven packages (file opt-out: //horus:wallclock)",
+	Run: run,
+}
+
+// wallclockTag is the file-level opt-out marker.
+const wallclockTag = "wallclock"
+
+// scopePrefix limits the analyzer to the module's internal tree; cmd/
+// and examples/ are wall-clock programs by nature.
+const scopePrefix = "horus/internal/"
+
+// bannedTime lists the time package functions that read or schedule
+// against the wall clock. time.Duration arithmetic and time.Time
+// plumbing stay legal — the contract is about where time comes from.
+var bannedTime = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+// allowedRand lists the math/rand constructors that build seeded,
+// reproducible generators; everything else at package level draws
+// from the global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), scopePrefix) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue // tests drive wall-clock soaks legitimately
+		}
+		if annot.FileMarker(file, wallclockTag) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"bare goroutine escapes the event-queue discipline; "+
+						"post to the endpoint executor or a sched primitive instead "+
+						"(//horus:wallclock opts the file out)")
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelector flags uses of banned package-level functions. Working
+// on selector uses (not just calls) also catches escapes passed as
+// function values, e.g. `clock := time.Now`.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedTime[fn.Name()] {
+			pass.Reportf(sel.Pos(),
+				"wall clock escape: time.%s bypasses the sched/transport virtual clock; "+
+					"use the layer Context timer or annotate the file //horus:wallclock",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[fn.Name()] {
+			pass.Reportf(sel.Pos(),
+				"nondeterminism escape: global rand.%s is not seed-reproducible; "+
+					"draw from a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+				fn.Name())
+		}
+	}
+}

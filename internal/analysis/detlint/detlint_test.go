@@ -1,0 +1,16 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"horus/internal/analysis/analysistest"
+	"horus/internal/analysis/detlint"
+)
+
+func TestDetLint(t *testing.T) {
+	analysistest.Run(t, detlint.Analyzer,
+		"horus/internal/layers/detfixture",
+		"horus/internal/layers/detwallclock",
+		"outsider",
+	)
+}

@@ -1,0 +1,34 @@
+// Package detfixture is the detlint fixture: a pretend sim-driven
+// layer package (its import path puts it under horus/internal/) with
+// every class of determinism escape plus the legal alternatives.
+package detfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flagged() {
+	_ = time.Now()                 // want `wall clock escape: time\.Now`
+	time.Sleep(time.Millisecond)   // want `wall clock escape: time\.Sleep`
+	<-time.After(time.Millisecond) // want `wall clock escape: time\.After`
+	_ = time.NewTimer(time.Second) // want `wall clock escape: time\.NewTimer`
+	clock := time.Now              // want `wall clock escape: time\.Now`
+	_ = clock
+	_ = rand.Intn(4)      // want `global rand\.Intn`
+	rand.Shuffle(1, swap) // want `global rand\.Shuffle`
+	go flagged()          // want `bare goroutine`
+}
+
+func accepted() {
+	// Seeded generators are the deterministic path.
+	rng := rand.New(rand.NewSource(7))
+	_ = rng.Intn(4)
+	// Duration arithmetic and time.Time plumbing carry no wall-clock
+	// read; only the banned sources are flagged.
+	const step = 5 * time.Millisecond
+	var t time.Time
+	_ = t.Add(step)
+}
+
+func swap(i, j int) {}

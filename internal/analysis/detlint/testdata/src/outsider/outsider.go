@@ -1,0 +1,8 @@
+// Package outsider sits outside horus/internal/, so detlint leaves it
+// alone: command-line drivers and examples are wall-clock programs by
+// nature.
+package outsider
+
+import "time"
+
+func Clock() time.Time { return time.Now() }

@@ -1,0 +1,12 @@
+package hcpilint_test
+
+import (
+	"testing"
+
+	"horus/internal/analysis/analysistest"
+	"horus/internal/analysis/hcpilint"
+)
+
+func TestHCPILint(t *testing.T) {
+	analysistest.Run(t, hcpilint.Analyzer, "horus/internal/layers/hcpifixture")
+}

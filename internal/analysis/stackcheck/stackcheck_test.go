@@ -1,0 +1,12 @@
+package stackcheck_test
+
+import (
+	"testing"
+
+	"horus/internal/analysis/analysistest"
+	"horus/internal/analysis/stackcheck"
+)
+
+func TestStackCheck(t *testing.T) {
+	analysistest.Run(t, stackcheck.Analyzer, "stackuse")
+}

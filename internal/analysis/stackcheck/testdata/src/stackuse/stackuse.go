@@ -1,0 +1,41 @@
+// Package stackuse is the stackcheck fixture: constant stack
+// literals, well-formed and malformed, fed to every entry point the
+// analyzer watches.
+package stackuse
+
+import (
+	"horus/internal/property"
+	"horus/internal/stackreg"
+)
+
+// sevenStack is the paper's §7 worked example — well-formed over a
+// best-effort network, and a named constant so the fixture also pins
+// cross-constant resolution.
+const sevenStack = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+func accepted() {
+	_, _ = stackreg.Build(sevenStack, property.P1)
+	_ = stackreg.MustBuild("MBRSHIP:FRAG:NAK:COM", property.P1)
+	_, _ = property.Derive(property.P1, property.ParseStack(sevenStack))
+	_, _ = property.Derive(property.P1, []string{"NAK", "COM"})
+	_ = property.WellFormed(property.P1, property.ParseStack("FRAG:NAK:COM"))
+	_, _ = property.StackCost([]string{"TOTAL", "COM"}) // cost needs no well-formedness
+	_, _ = stackreg.Build(nonConstant(), property.P1)   // not resolvable: left to run time
+}
+
+func flagged() {
+	_, _ = stackreg.Build("TOTAL:COM", property.P1)                    // want `malformed stack "TOTAL:COM" over network \{P1\}.*layer TOTAL requires`
+	_ = stackreg.MustBuild("TOTAL:MBRSHIP:FRAG:NAK:XCOM", property.P1) // want `unknown layer "XCOM"`
+	_, _ = stackreg.Build("", property.P1)                             // want `empty stack description`
+	_, _ = property.Derive(property.P1, []string{"TOTAL", "COM"})      // want `malformed stack "TOTAL:COM".*layer TOTAL requires`
+	_, _ = property.Derive(property.P1, []string{"total", "com"})      // want `unknown layer "total"`
+	_ = property.WellFormed(0, property.ParseStack("COM"))             // want `layer COM requires \{P1\}`
+	_, _ = property.StackCost([]string{"COM", "BOGUS"})                // want `unknown layer "BOGUS"`
+}
+
+func suppressed() {
+	// Negative example kept on purpose; the marker documents why.
+	_, _ = stackreg.Build("TOTAL:COM", property.P1) //horus:stackcheck-ok — fixture: demonstrates the line-level opt-out
+}
+
+func nonConstant() string { return "COM" }

@@ -1,3 +1,6 @@
+//horus:wallclock — fault proxy over real UDP sockets: delays, flap
+// timers, and bandwidth pacing execute at genuine wall-clock speed.
+
 // Package chaosnet runs the chaos harness's fault vocabulary over
 // real UDP sockets: an in-process lossy proxy stands between every
 // pair of members, so the same typed schedules that drive the
@@ -111,9 +114,9 @@ type Fabric struct {
 // `remaining` later departures on its directed link (or the hold
 // backstop timer) before it is dispatched.
 type heldFrame struct {
-	remaining int
-	released  bool
-	fire      func() // dispatch with a fresh delay draw; call with f.mu held
+	remaining  int
+	released   bool
+	fireLocked func() // dispatch with a fresh delay draw; caller holds f.mu
 }
 
 // New builds an empty UDP fabric; endpoints attach via NewEndpoint.
@@ -303,7 +306,7 @@ func (f *Fabric) holdLocked(dir pair, n *node, pkt []byte, l netsim.Link) {
 	}
 	f.stats.Reordered++
 	h := &heldFrame{remaining: depth}
-	h.fire = func() {
+	h.fireLocked = func() {
 		// The rule table may have changed while the frame was held;
 		// draw its delay from the link in force at release time, as
 		// netsim does.
@@ -328,7 +331,7 @@ func (f *Fabric) holdLocked(dir pair, n *node, pkt []byte, l netsim.Link) {
 				break
 			}
 		}
-		h.fire()
+		h.fireLocked()
 	}))
 }
 
@@ -353,7 +356,7 @@ func (f *Fabric) departLocked(dir pair) {
 	}
 	f.held[dir] = keep
 	for _, h := range release {
-		h.fire()
+		h.fireLocked()
 	}
 }
 

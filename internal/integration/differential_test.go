@@ -10,9 +10,17 @@ package integration
 // explicit reorder rule, partitions, crashes) have drifted apart, or
 // the stack depends on a timing accident one substrate happens to
 // provide.
+//
+// Two sweeps run: the polite generator, and the harsh one (multi-way
+// partitions, crash-during-partition, flap storms, over the
+// primary-partition stack). Both honor HORUS_DIFF_SEEDS, which the
+// nightly CI sweep sets to widen the search far beyond the per-commit
+// dozen.
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -44,6 +52,21 @@ func differentialConfig() chaos.SoakConfig {
 	}
 }
 
+// diffSeeds resolves the sweep width: the HORUS_DIFF_SEEDS environment
+// variable (the nightly workflow sets 100) overrides the per-commit
+// default.
+func diffSeeds(t *testing.T, def int) int {
+	v := os.Getenv("HORUS_DIFF_SEEDS")
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("bad HORUS_DIFF_SEEDS %q: %v", v, err)
+	}
+	return n
+}
+
 // simStatsFabric adapts *netsim.Network to chaos.Fabric while keeping
 // the Network reachable so the test can read its fault ledger.
 type simStatsFabric struct{ *netsim.Network }
@@ -68,26 +91,22 @@ func runDifferentialSeed(seed int64, cfg chaos.SoakConfig) error {
 	return nil
 }
 
-// TestDifferentialConformance sweeps generated seeds over both fabrics
-// and demands that each seed is invariant-clean on both. It also pins
-// the sweep's coverage: the generated schedules must include at least
-// one bandwidth cap and one explicit reorder burst, and the fault
-// ledgers on both substrates must show those rules actually fired.
-func TestDifferentialConformance(t *testing.T) {
-	if testing.Short() {
-		t.Skip("differential suite runs the UDP side at wall-clock speed")
-	}
-	const seeds = 12
-	cfg := differentialConfig()
-
+// runDifferentialSweep sweeps seeds over both fabrics and demands that
+// each seed is invariant-clean on both. With requireCoverage it also
+// pins the sweep's vocabulary: the generated schedules must include at
+// least one bandwidth cap and one explicit reorder burst, and the
+// fault ledgers on both substrates must show those rules actually
+// fired.
+func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, requireCoverage bool) {
 	var sawBandwidth, sawReorder bool
 	var sim netsim.Stats
 	var udp chaosnet.Stats
-	for seed := int64(1); seed <= seeds; seed++ {
+	for seed := int64(1); seed <= int64(seeds); seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
 			sched := chaos.Generate(seed, chaos.GenConfig{
 				Members: cfg.Members, Horizon: cfg.Horizon, Incidents: cfg.Incidents,
+				Harsh: cfg.Harsh,
 			})
 			for _, a := range sched {
 				if a.Link.Bandwidth > 0 {
@@ -131,6 +150,9 @@ func TestDifferentialConformance(t *testing.T) {
 		})
 	}
 
+	if !requireCoverage {
+		return
+	}
 	// Coverage over the sweep, not per seed: the generator places
 	// incidents randomly, so individual seeds may miss a class, but a
 	// 12-seed sweep that never squeezed bandwidth or reordered frames
@@ -147,4 +169,28 @@ func TestDifferentialConformance(t *testing.T) {
 	if sim.Throttled == 0 || udp.Throttled == 0 {
 		t.Errorf("bandwidth rule never fired (sim=%d udp=%d throttled frames)", sim.Throttled, udp.Throttled)
 	}
+}
+
+// TestDifferentialConformance is the polite-generator sweep, with the
+// vocabulary coverage checks.
+func TestDifferentialConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite runs the UDP side at wall-clock speed")
+	}
+	runDifferentialSweep(t, diffSeeds(t, 12), differentialConfig(), true)
+}
+
+// TestDifferentialConformanceHarsh sweeps hostile schedules —
+// multi-way partitions, crashes landing mid-partition, flap storms —
+// over the primary-partition stack on both fabrics. Coverage checks
+// are left to the polite sweep: the harsh generator spends its
+// incident budget on partitions and crashes, so a short sweep may
+// legitimately never cap bandwidth.
+func TestDifferentialConformanceHarsh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite runs the UDP side at wall-clock speed")
+	}
+	cfg := differentialConfig()
+	cfg.Harsh = true
+	runDifferentialSweep(t, diffSeeds(t, 8), cfg, false)
 }

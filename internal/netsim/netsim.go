@@ -114,9 +114,9 @@ type Network struct {
 // `remaining` later departures on its directed link (or the hold
 // backstop) before it transmits.
 type heldPacket struct {
-	remaining int
-	released  bool
-	send      func() // transmit; call with n.mu held
+	remaining  int
+	released   bool
+	sendLocked func() // transmit; caller holds n.mu
 }
 
 type pair struct{ a, b core.EndpointID }
@@ -402,7 +402,7 @@ func (n *Network) holdLocked(from core.EndpointID, group core.GroupAddr, dst cor
 	n.stats.Reordered++
 	dir := pair{a: from, b: dst}
 	h := &heldPacket{remaining: depth}
-	h.send = func() { n.transmitLocked(from, group, dst, buf) }
+	h.sendLocked = func() { n.transmitLocked(from, group, dst, buf) }
 	n.held[dir] = append(n.held[dir], h)
 	n.scheduleLocked(n.now+hold, func() {
 		n.mu.Lock()
@@ -418,7 +418,7 @@ func (n *Network) holdLocked(from core.EndpointID, group core.GroupAddr, dst cor
 				break
 			}
 		}
-		h.send()
+		h.sendLocked()
 	})
 }
 
@@ -443,7 +443,7 @@ func (n *Network) departLocked(dir pair) {
 	}
 	n.held[dir] = keep
 	for _, h := range release {
-		h.send()
+		h.sendLocked()
 	}
 }
 

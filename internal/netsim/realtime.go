@@ -1,3 +1,6 @@
+//horus:wallclock — RealTime is the wall-clock transport by definition:
+// goroutines and real timers stand in for the simulator's event queue.
+
 package netsim
 
 import (

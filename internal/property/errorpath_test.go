@@ -1,0 +1,105 @@
+package property
+
+import (
+	"strings"
+	"testing"
+)
+
+// The error-path contract matters beyond these unit tests: the
+// stackcheck analyzer re-runs Derive at analysis time and embeds its
+// messages in diagnostics, so the wording (which layer, which missing
+// properties) is load-bearing.
+
+func TestDeriveUnknownLayer(t *testing.T) {
+	//horus:stackcheck-ok — negative test: the rejection is the point
+	_, err := Derive(P1, []string{"NOSUCH", "COM"})
+	if err == nil {
+		t.Fatal("unknown layer accepted")
+	}
+	if !strings.Contains(err.Error(), `unknown layer "NOSUCH"`) {
+		t.Errorf("error %q does not name the unknown layer", err)
+	}
+}
+
+func TestDeriveNamesUnmetRequirement(t *testing.T) {
+	// TOTAL over bare COM: TOTAL requires membership (P8), virtual
+	// synchrony (P9), stability (P15), and FIFO (P3); COM over P1
+	// yields {P1,P10,P11}, so all four are missing. The error must
+	// name the failing layer and the missing properties, not just
+	// reject.
+	//horus:stackcheck-ok — negative test: the rejection is the point
+	_, err := Derive(P1, ParseStack("TOTAL:COM"))
+	if err == nil {
+		t.Fatal("TOTAL:COM accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "layer TOTAL requires") {
+		t.Errorf("error %q does not name the failing layer", msg)
+	}
+	for _, p := range []string{"P3", "P8", "P9", "P15"} {
+		if !strings.Contains(msg, p) {
+			t.Errorf("error %q does not name missing %s", msg, p)
+		}
+	}
+	if !strings.Contains(msg, "P10") || !strings.Contains(msg, "P11") {
+		t.Errorf("error %q does not report what IS available", msg)
+	}
+}
+
+func TestDeriveEmptyStack(t *testing.T) {
+	// An empty stack is trivially well-formed: the top of the stack is
+	// the network itself. Derive must hand the network's properties
+	// through unchanged, not error.
+	got, err := Derive(P1|P2, nil)
+	if err != nil {
+		t.Fatalf("empty stack rejected: %v", err)
+	}
+	if got != P1|P2 {
+		t.Errorf("empty stack derived %v, want %v", got, P1|P2)
+	}
+}
+
+func TestSynthesizeNoSolutionError(t *testing.T) {
+	// Over a property-free network no layer's requirements are met;
+	// the error must state both the network and the unreachable goal.
+	_, err := Synthesize(0, P3, nil)
+	if err == nil {
+		t.Fatal("synthesized a stack over a property-free network")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no stack") || !strings.Contains(msg, "P3") {
+		t.Errorf("error %q does not state the unreachable goal", msg)
+	}
+}
+
+func TestSynthesizeAlreadySatisfied(t *testing.T) {
+	// A goal the network already provides needs no layers at all.
+	stack, err := Synthesize(P1, P1, nil)
+	if err != nil {
+		t.Fatalf("trivial synthesis failed: %v", err)
+	}
+	if len(stack) != 0 {
+		t.Errorf("trivial synthesis produced %v, want empty stack", stack)
+	}
+}
+
+func TestSynthesizeRestrictedCandidates(t *testing.T) {
+	// With the candidate pool cut down to COM alone, goals past COM's
+	// offering must fail even though Table 3 could reach them.
+	com, err := Spec("COM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(P1, P3, []LayerSpec{com}); err == nil {
+		t.Error("synthesized FIFO from COM alone")
+	}
+}
+
+func TestStackCostUnknownLayer(t *testing.T) {
+	//horus:stackcheck-ok — negative test: the rejection is the point
+	if _, err := StackCost([]string{"COM", "BOGUS"}); err == nil {
+		t.Error("StackCost accepted an unknown layer")
+	} else if !strings.Contains(err.Error(), `"BOGUS"`) {
+		t.Errorf("error %q does not name the unknown layer", err)
+	}
+}

@@ -22,6 +22,7 @@ func ExampleDerive() {
 
 // Ill-formed stacks are rejected with the offending layer named.
 func ExampleDerive_illFormed() {
+	//horus:stackcheck-ok — this example demonstrates the rejection itself
 	_, err := property.Derive(property.P1, property.ParseStack("TOTAL:COM"))
 	fmt.Println(err != nil)
 	// Output: true

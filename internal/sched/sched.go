@@ -1,3 +1,6 @@
+//horus:wallclock — AwaitTimeout coordinates real OS threads (benchmarks,
+// tests) and needs a genuine deadline; protocol time lives in netsim.
+
 // Package sched implements the concurrency disciplines of paper §3.
 //
 // Horus threads "execute concurrently and pre-emptively, using mutual
@@ -28,7 +31,7 @@ type Monitor struct {
 func (m *Monitor) Do(fn func()) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	fn()
+	fn() //horus:hcpi-ok — the monitor discipline IS fn-under-lock (§3)
 }
 
 // EventCounter is the paper's second discipline: a monotone counter

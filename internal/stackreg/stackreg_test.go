@@ -35,12 +35,15 @@ func TestBuildWellFormedStack(t *testing.T) {
 }
 
 func TestBuildRejectsIllFormed(t *testing.T) {
+	//horus:stackcheck-ok — negative test: the rejection is the point
 	if _, err := Build("TOTAL:COM", property.P1); err == nil {
 		t.Error("ill-formed stack accepted")
 	}
+	//horus:stackcheck-ok — negative test: the rejection is the point
 	if _, err := Build("", property.P1); err == nil {
 		t.Error("empty stack accepted")
 	}
+	//horus:stackcheck-ok — negative test: the rejection is the point
 	if _, err := Build("NOSUCH:COM", property.P1); err == nil {
 		t.Error("unknown layer accepted")
 	}

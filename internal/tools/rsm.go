@@ -67,13 +67,15 @@ func NewRSM(apply func(cmd []byte), snapshot func() []byte, restore func(state [
 // group creator calls it once instead of waiting for a state transfer.
 func (r *RSM) Bootstrap() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.synced = true
-	for _, cmd := range r.buffered {
-		r.applied++
-		r.apply(cmd)
-	}
+	buffered := r.buffered
 	r.buffered = nil
+	r.applied += len(buffered)
+	apply := r.apply
+	r.mu.Unlock()
+	for _, cmd := range buffered {
+		apply(cmd)
+	}
 }
 
 // Bind attaches the group handle after Join (the handler must exist

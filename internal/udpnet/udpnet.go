@@ -1,3 +1,6 @@
+//horus:wallclock — real-network transport: kernel sockets, reader
+// goroutines, and retransmit timers necessarily run on the wall clock.
+
 // Package udpnet is a real-network transport: endpoints exchange UDP
 // datagrams (loopback or LAN), demonstrating that the protocol stacks
 // are transport-agnostic — the same layers that run over the simulator
