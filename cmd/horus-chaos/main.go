@@ -1,8 +1,9 @@
 // Command horus-chaos runs the chaos soak from the command line: for
 // each seed it forms a cluster, generates a seeded fault schedule
 // (loss ramps, asymmetric links, flapping, crash/recover, rolling
-// partitions — plus multi-way splits, anchor crashes, and majority
-// loss with -harsh), drives a continuous cast workload through it, and
+// partitions, bandwidth and egress squeezes, reorder bursts — plus
+// multi-way splits, anchor crashes, and majority loss with -harsh),
+// drives a continuous cast workload through it, and
 // then checks every virtual-synchrony invariant over everything every
 // incarnation observed.
 //
@@ -158,8 +159,9 @@ func netStats(f *chaosnet.Fabric) string {
 	}
 	p := f.Stats()
 	t := f.TransportStats()
-	return fmt.Sprintf("  [udp fwd=%d drop=%d block=%d dup=%d garble=%d reorder=%d throttle=%d | sendErr=%d malformed=%d oversized=%d truncated=%d]",
+	return fmt.Sprintf("  [udp fwd=%d drop=%d block=%d dup=%d garble=%d reorder=%d throttle=%d congest=%d collapse=%d | sendErr=%d malformed=%d oversized=%d truncated=%d]",
 		p.Forwarded, p.Dropped, p.Blocked, p.Duplicated, p.Garbled, p.Reordered, p.Throttled,
+		p.Congested, p.CollapseDropped,
 		t.SendErrors, t.Malformed, t.Oversized, t.Truncated)
 }
 

@@ -359,3 +359,54 @@ func TestGenerateHarshSelfCleaning(t *testing.T) {
 		}
 	}
 }
+
+// TestHarshVocabularyCoverage: across the nightly sweep's seed range
+// (seeds 1..100 at the horus-chaos defaults), the harsh generator
+// draws every fault kind in the vocabulary at least once — every
+// polite class (loss ramps, asymmetric loss, flaps, crashes,
+// partitions, bandwidth squeezes, reorder bursts, egress squeezes)
+// and every harsh-only class (multi-way splits, anchor crashes,
+// majority loss). A renumbering or probability change that silently
+// starves one class out of the nightly sweep fails here, not months
+// later when the untested class regresses.
+func TestHarshVocabularyCoverage(t *testing.T) {
+	// Mirror `horus-chaos -harsh -seeds 100` (the nightly harsh sweep):
+	// default members/horizon/incidents, harsh repertoire.
+	cfg := GenConfig{Members: 4, Horizon: 5 * time.Second, Incidents: 7, Harsh: true}
+
+	// Each class is recognized by the Note its builder stamps, except
+	// the plain crash/recover pair, which carries no note and is
+	// recognized by kind + the absence of a harsh crash note.
+	classes := []struct {
+		name string
+		hit  func(a Action) bool
+	}{
+		{"loss ramp", func(a Action) bool { return strings.HasPrefix(a.Note, "ramp") }},
+		{"asymmetric loss", func(a Action) bool { return strings.HasPrefix(a.Note, "asym") }},
+		{"flap", func(a Action) bool { return strings.HasPrefix(a.Note, "flap") }},
+		{"crash", func(a Action) bool { return a.Kind == KindCrash && a.Note == "" }},
+		{"partition", func(a Action) bool { return strings.HasPrefix(a.Note, "rand split") }},
+		{"bandwidth squeeze", func(a Action) bool { return a.Note == "bw squeeze" }},
+		{"reorder burst", func(a Action) bool { return a.Note == "reorder burst" }},
+		{"egress squeeze", func(a Action) bool { return a.Note == "egress squeeze" }},
+		{"multi-way split", func(a Action) bool { return strings.HasSuffix(a.Note, "way split") }},
+		{"anchor crash", func(a Action) bool { return a.Note == "anchor crash" }},
+		{"majority loss", func(a Action) bool { return strings.HasPrefix(a.Note, "majority loss") }},
+	}
+
+	seen := make(map[string]int64) // class -> first seed that drew it
+	for seed := int64(1); seed <= 100; seed++ {
+		for _, a := range Generate(seed, cfg) {
+			for _, c := range classes {
+				if _, ok := seen[c.name]; !ok && c.hit(a) {
+					seen[c.name] = seed
+				}
+			}
+		}
+	}
+	for _, c := range classes {
+		if _, ok := seen[c.name]; !ok {
+			t.Errorf("100 harsh seeds never drew a %s incident", c.name)
+		}
+	}
+}

@@ -332,6 +332,10 @@ func (c *Cluster) apply(a Action) {
 		c.fab.SetLinkDirected(c.id(a.A), c.id(a.B), a.Link)
 	case KindClearLink:
 		c.fab.ClearLink(c.id(a.A), c.id(a.B))
+	case KindSetHost:
+		c.fab.SetHost(c.id(a.A), a.Host)
+	case KindClearHost:
+		c.fab.ClearHost(c.id(a.A))
 	case KindCrash:
 		m := c.members[a.A]
 		if m.down {

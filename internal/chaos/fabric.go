@@ -32,11 +32,15 @@ type Fabric interface {
 	RunFor(d time.Duration)
 
 	// Fault vocabulary — semantics mirror netsim.Network: directed
-	// link overrides with a default fallback, fail-stop crashes,
-	// detach of dead incarnations, global component partitions.
+	// link overrides with a default fallback, per-host egress budgets
+	// shared across all of a member's outgoing links, fail-stop
+	// crashes, detach of dead incarnations, global component
+	// partitions.
 	SetLink(a, b core.EndpointID, l netsim.Link)
 	SetLinkDirected(from, to core.EndpointID, l netsim.Link)
 	ClearLink(a, b core.EndpointID)
+	SetHost(id core.EndpointID, h netsim.Host)
+	ClearHost(id core.EndpointID)
 	Crash(id core.EndpointID)
 	Detach(id core.EndpointID)
 	Partition(groups ...[]core.EndpointID)

@@ -29,9 +29,11 @@ type GenConfig struct {
 //
 // The default repertoire also exercises the fabric-level flow faults:
 // bandwidth squeezes (a link capped to a few KB/s, so bursts queue and
-// arrive late) and reorder bursts (the explicit hold-and-release rule,
-// so frames are overtaken regardless of send spacing). Both are
-// applied symmetrically and self-clean like every other incident.
+// arrive late), reorder bursts (the explicit hold-and-release rule,
+// so frames are overtaken regardless of send spacing), and egress
+// squeezes (one member's total outgoing budget capped across all of
+// its links, with a bounded queue whose overflow drops — congestion
+// collapse, not just delay). All self-clean like every other incident.
 //
 // Harsh mode drops the survivability politeness and adds three
 // incident classes: multi-way partitions (three components, forcing
@@ -58,9 +60,9 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 		return a, b
 	}
 
-	kinds := 7
+	kinds := 8
 	if cfg.Harsh {
-		kinds = 10
+		kinds = 11
 	}
 	var crashBusyUntil, partBusyUntil time.Duration
 	for i := 0; i < cfg.Incidents; i++ {
@@ -128,7 +130,16 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 			base := netsim.Link{Delay: time.Millisecond, Jitter: 2 * time.Millisecond}
 			hold := dur(300*time.Millisecond, 900*time.Millisecond)
 			s = append(s, ReorderBurst(start, hold, a, b, base, rate, depth)...)
-		case 7: // harsh: three-way partition, overlap allowed
+		case 7: // egress squeeze: one member's shared outgoing budget capped
+			a := rng.Intn(cfg.Members)
+			bps := 8192 * (1 + rng.Intn(3)) // 8, 16, or 24 KB/s across ALL links
+			// Bound the backlog at ~a quarter second of budget, so the
+			// squeeze converts sustained overload into CollapseDropped
+			// losses instead of unboundedly stale deliveries.
+			queue := bps / 4
+			hold := dur(300*time.Millisecond, 800*time.Millisecond)
+			s = append(s, EgressSqueeze(start, hold, a, bps, queue)...)
+		case 8: // harsh: three-way partition, overlap allowed
 			sides := make([][]int, 0, 3)
 			buckets := make([][]int, 3)
 			for m := 0; m < cfg.Members; m++ {
@@ -149,7 +160,7 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 					Note: fmt.Sprintf("%d-way split", len(sides))},
 				Action{At: start + hold, Kind: KindHeal, Note: "multi heal"})
 			partBusyUntil = start + hold + 300*time.Millisecond
-		case 8: // harsh: anchor crash — slot 0 goes down, re-anchor required
+		case 9: // harsh: anchor crash — slot 0 goes down, re-anchor required
 			if start < crashBusyUntil {
 				continue
 			}
@@ -158,7 +169,7 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 			s[len(s)-2].Note = "anchor crash"
 			s[len(s)-1].Note = "anchor recover"
 			crashBusyUntil = start + hold + 300*time.Millisecond
-		case 9: // harsh: majority loss — half the cluster fail-stops at once
+		case 10: // harsh: majority loss — half the cluster fail-stops at once
 			if start < crashBusyUntil {
 				continue
 			}
@@ -191,6 +202,9 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 		end = cfg.Horizon
 	}
 	s = append(s, Action{At: end, Kind: KindHeal, Note: "tail heal"})
+	for a := 0; a < cfg.Members; a++ {
+		s = append(s, Action{At: end, Kind: KindClearHost, A: a, Note: "tail clear"})
+	}
 	for a := 0; a < cfg.Members; a++ {
 		for b := a + 1; b < cfg.Members; b++ {
 			s = append(s, Action{At: end, Kind: KindClearLink, A: a, B: b, Note: "tail clear"})

@@ -31,11 +31,14 @@ const (
 	KindRecover                     // boot a fresh incarnation at slot A's site
 	KindPartition                   // split the network into the Sides components
 	KindHeal                        // remove the partition
+	KindSetHost                     // per-host limits (egress budget) on slot A
+	KindClearHost                   // drop slot A's per-host limits
 )
 
 var kindNames = [...]string{
 	"set-link", "set-link-directed", "clear-link",
 	"crash", "recover", "partition", "heal",
+	"set-host", "clear-host",
 }
 
 func (k Kind) String() string {
@@ -55,8 +58,9 @@ func (k Kind) String() string {
 type Action struct {
 	At    time.Duration // offset from schedule start
 	Kind  Kind
-	A, B  int         // member slots (A only, for crash/recover)
+	A, B  int         // member slots (A only, for crash/recover/host kinds)
 	Link  netsim.Link // for set-link kinds
+	Host  netsim.Host // for set-host
 	Sides [][]int     // partition components; two-way or multi-way
 	Note  string      // provenance, e.g. "ramp 2/5"
 }
@@ -75,8 +79,11 @@ func (a Action) String() string {
 			a.At, a.Kind, a.A, a.B, a.Link.LossRate, a.Link.Delay, extra, a.Note)
 	case KindClearLink:
 		return fmt.Sprintf("%8v %s s%d-s%d %s", a.At, a.Kind, a.A, a.B, a.Note)
-	case KindCrash, KindRecover:
+	case KindCrash, KindRecover, KindClearHost:
 		return fmt.Sprintf("%8v %s s%d %s", a.At, a.Kind, a.A, a.Note)
+	case KindSetHost:
+		return fmt.Sprintf("%8v %s s%d egress=%dB/s q=%dB %s",
+			a.At, a.Kind, a.A, a.Host.EgressBudget, a.Host.EgressQueue, a.Note)
 	case KindPartition:
 		parts := make([]string, len(a.Sides))
 		for i, side := range a.Sides {
@@ -206,6 +213,23 @@ func BandwidthSqueeze(start, dwell time.Duration, a, b int, l netsim.Link, bps i
 	return Schedule{
 		{At: start, Kind: KindSetLink, A: a, B: b, Link: li, Note: "bw squeeze"},
 		{At: start + dwell, Kind: KindClearLink, A: a, B: b, Note: "bw squeeze end"},
+	}
+}
+
+// EgressSqueeze caps slot a's total egress at `bps` bytes per second
+// for `dwell`, then clears. The budget is shared across every outgoing
+// link of the member — the shared NIC queue the per-link bandwidth cap
+// cannot model — so one saturated flow delays every flow the member
+// originates. `queue` bounds the backlog in bytes (zero means the
+// fabric default): while the squeeze holds, packets past the budget
+// queue into the Congested ledger and packets past the queue bound
+// drop into CollapseDropped, which is how schedules express congestion
+// collapse rather than mere delay.
+func EgressSqueeze(start, dwell time.Duration, a int, bps, queue int) Schedule {
+	return Schedule{
+		{At: start, Kind: KindSetHost, A: a,
+			Host: netsim.Host{EgressBudget: bps, EgressQueue: queue}, Note: "egress squeeze"},
+		{At: start + dwell, Kind: KindClearHost, A: a, Note: "egress squeeze end"},
 	}
 }
 

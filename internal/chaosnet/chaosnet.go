@@ -55,7 +55,13 @@ type Stats struct {
 	Garbled    int // frames corrupted in flight
 	Reordered  int // frames held back by the reorder rule
 	Throttled  int // frames that queued behind earlier traffic (bandwidth)
-	Unknown    int // frames from an unrecognized source address
+	// Congested counts frames that queued behind earlier traffic in
+	// their host's shared egress bucket (Host.EgressBudget).
+	Congested int
+	// CollapseDropped counts frames dropped by a host's bounded egress
+	// queue overflowing — offered load past the budget became loss.
+	CollapseDropped int
+	Unknown         int // frames from an unrecognized source address
 }
 
 // Config parameterizes a UDP fabric.
@@ -90,22 +96,24 @@ type node struct {
 type Fabric struct {
 	addr string
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	start     time.Time
-	def       netsim.Link
-	links     map[pair]netsim.Link
-	crashed   map[core.EndpointID]bool
-	part      map[core.EndpointID]int
-	nodes     map[core.EndpointID]*node
-	bySrc     map[string]core.EndpointID // member real addr -> member
-	linkFree  map[pair]time.Duration     // directed link busy-until (bandwidth model)
-	held      map[pair][]*heldFrame      // directed link reorder holds
-	nextBirth uint64
-	stats     Stats
-	retired   udpnet.Stats // transport counters of detached incarnations
-	timers    []*time.Timer
-	closed    bool
+	mu         sync.Mutex
+	rng        *rand.Rand
+	start      time.Time
+	def        netsim.Link
+	links      map[pair]netsim.Link
+	crashed    map[core.EndpointID]bool
+	part       map[core.EndpointID]int
+	nodes      map[core.EndpointID]*node
+	bySrc      map[string]core.EndpointID // member real addr -> member
+	linkFree   map[pair]time.Duration     // directed link busy-until (bandwidth model)
+	held       map[pair][]*heldFrame      // directed link reorder holds
+	hosts      map[core.EndpointID]netsim.Host
+	egressFree map[core.EndpointID]time.Duration // per-host egress busy-until
+	nextBirth  uint64
+	stats      Stats
+	retired    udpnet.Stats // transport counters of detached incarnations
+	timers     []*time.Timer
+	closed     bool
 
 	wg sync.WaitGroup
 }
@@ -125,18 +133,20 @@ func New(cfg Config) *Fabric {
 		cfg.Addr = "127.0.0.1:0"
 	}
 	return &Fabric{
-		addr:      cfg.Addr,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		start:     time.Now(),
-		def:       cfg.DefaultLink,
-		links:     make(map[pair]netsim.Link),
-		crashed:   make(map[core.EndpointID]bool),
-		part:      make(map[core.EndpointID]int),
-		nodes:     make(map[core.EndpointID]*node),
-		bySrc:     make(map[string]core.EndpointID),
-		linkFree:  make(map[pair]time.Duration),
-		held:      make(map[pair][]*heldFrame),
-		nextBirth: 1,
+		addr:       cfg.Addr,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		start:      time.Now(),
+		def:        cfg.DefaultLink,
+		links:      make(map[pair]netsim.Link),
+		crashed:    make(map[core.EndpointID]bool),
+		part:       make(map[core.EndpointID]int),
+		nodes:      make(map[core.EndpointID]*node),
+		bySrc:      make(map[string]core.EndpointID),
+		linkFree:   make(map[pair]time.Duration),
+		held:       make(map[pair][]*heldFrame),
+		hosts:      make(map[core.EndpointID]netsim.Host),
+		egressFree: make(map[core.EndpointID]time.Duration),
+		nextBirth:  1,
 	}
 }
 
@@ -241,7 +251,11 @@ func (f *Fabric) route(n *node, src string, pkt []byte) {
 			f.holdLocked(dir, n, pkt, l)
 			continue
 		}
-		delays = append(delays, f.xmitDelayLocked(dir, l, len(pkt)))
+		if d, ok := f.xmitDelayLocked(dir, l, len(pkt)); ok {
+			delays = append(delays, d)
+		}
+		// A collapse-dropped frame still counts as a departure for the
+		// reorder rule, matching netsim: the sender attempted it.
 		f.departLocked(dir)
 	}
 	f.mu.Unlock()
@@ -266,29 +280,43 @@ func (f *Fabric) deliver(n *node, pkt []byte) {
 }
 
 // xmitDelayLocked computes one frame's time on the directed link:
-// propagation delay, jitter, and — when Link.Bandwidth caps the pair —
-// the wait for the link to drain plus the frame's own serialization
-// time, exactly netsim's model in wall-clock time. The link state is a
-// token bucket draining at Bandwidth bytes/s: linkFree is when the
-// bucket next has room, and a frame finding it in the future queues
-// behind the backlog. Callers hold f.mu.
-func (f *Fabric) xmitDelayLocked(dir pair, l netsim.Link, size int) time.Duration {
+// host egress budget, propagation delay, jitter, and — when
+// Link.Bandwidth caps the pair — the wait for the link to drain plus
+// the frame's own serialization time, exactly netsim's model in
+// wall-clock time. Both rate rules are busy-until token buckets on the
+// shared netsim math: the frame acquires tokens from its host's
+// egress bucket first (store-and-forward — it clears the NIC only once
+// fully serialized) and its link's bandwidth bucket second. ok is
+// false when the host's bounded egress queue overflowed and the frame
+// must be dropped (CollapseDropped). Callers hold f.mu.
+func (f *Fabric) xmitDelayLocked(dir pair, l netsim.Link, size int) (delay time.Duration, ok bool) {
+	now := time.Since(f.start)
+	newFree, clear, out := netsim.EgressAcquire(f.hosts[dir.a], dir.a, dir.b, now, f.egressFree[dir.a], size)
+	switch out {
+	case netsim.EgressDropped:
+		f.stats.CollapseDropped++
+		return 0, false
+	case netsim.EgressQueued:
+		f.stats.Congested++
+		f.egressFree[dir.a] = newFree
+	case netsim.EgressGranted:
+		f.egressFree[dir.a] = newFree
+	}
 	d := l.Delay
 	if l.Jitter > 0 {
 		d += time.Duration(f.rng.Int63n(int64(l.Jitter)))
 	}
 	if l.Bandwidth > 0 {
-		now := time.Since(f.start)
-		depart := now
-		if busy := f.linkFree[dir]; busy > depart {
-			depart = busy
+		linkFree, queued := netsim.BucketAcquire(clear, f.linkFree[dir], size, l.Bandwidth)
+		if queued {
 			f.stats.Throttled++
 		}
-		xmit := time.Duration(int64(size) * int64(time.Second) / int64(l.Bandwidth))
-		f.linkFree[dir] = depart + xmit
-		d += depart + xmit - now
+		f.linkFree[dir] = linkFree
+		d += linkFree - now
+	} else {
+		d += clear - now
 	}
-	return d
+	return d, true
 }
 
 // holdLocked parks one frame under the reorder rule: it is dispatched
@@ -308,9 +336,12 @@ func (f *Fabric) holdLocked(dir pair, n *node, pkt []byte, l netsim.Link) {
 	h := &heldFrame{remaining: depth}
 	h.fireLocked = func() {
 		// The rule table may have changed while the frame was held;
-		// draw its delay from the link in force at release time, as
-		// netsim does.
-		d := f.xmitDelayLocked(dir, f.linkFor(dir.a, dir.b), len(pkt))
+		// draw its delay from the link (and host budget) in force at
+		// release time, as netsim does.
+		d, ok := f.xmitDelayLocked(dir, f.linkFor(dir.a, dir.b), len(pkt))
+		if !ok {
+			return // the host's egress queue collapsed under the hold
+		}
 		if d < 0 {
 			d = 0
 		}
@@ -414,6 +445,25 @@ func (f *Fabric) ClearLink(a, b core.EndpointID) {
 	delete(f.links, pair{b, a})
 }
 
+// SetHost overrides the per-host limits for one member, as in netsim:
+// an egress budget applies to every frame the member originates, across
+// all destinations, before the per-link rules. Installing a budget
+// resets the bucket, so a previous horizon never leaks into it.
+func (f *Fabric) SetHost(id core.EndpointID, h netsim.Host) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hosts[id] = h
+	delete(f.egressFree, id)
+}
+
+// ClearHost removes the per-host limits for one member.
+func (f *Fabric) ClearHost(id core.EndpointID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.hosts, id)
+	delete(f.egressFree, id)
+}
+
 // Crash fail-stops a member: its stacks are destroyed (timers die,
 // protocol execution halts) and the proxy swallows everything to or
 // from it. Peers observe silence, the failure model the stack turns
@@ -462,6 +512,8 @@ func (f *Fabric) Detach(id core.EndpointID) {
 			delete(f.held, p)
 		}
 	}
+	delete(f.hosts, id)
+	delete(f.egressFree, id)
 	f.mu.Unlock()
 	if n != nil {
 		n.tr.Close()

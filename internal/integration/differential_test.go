@@ -93,12 +93,15 @@ func runDifferentialSeed(seed int64, cfg chaos.SoakConfig) error {
 
 // runDifferentialSweep sweeps seeds over both fabrics and demands that
 // each seed is invariant-clean on both. With requireCoverage it also
-// pins the sweep's vocabulary: the generated schedules must include at
-// least one bandwidth cap and one explicit reorder burst, and the
-// fault ledgers on both substrates must show those rules actually
-// fired.
+// pins the sweep's vocabulary — the generated schedules must include at
+// least one bandwidth cap, one explicit reorder burst, and one egress
+// squeeze — and upgrades survival parity to ledger parity: every flow
+// rule the sweep exercised must show nonzero firings on BOTH
+// substrates. Exact counts legitimately differ (kernel timing vs
+// virtual time), but a rule that fires on one fabric and never on the
+// other means the two implementations have drifted apart.
 func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, requireCoverage bool) {
-	var sawBandwidth, sawReorder bool
+	var sawBandwidth, sawReorder, sawEgress bool
 	var sim netsim.Stats
 	var udp chaosnet.Stats
 	for seed := int64(1); seed <= int64(seeds); seed++ {
@@ -115,6 +118,9 @@ func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, require
 				if a.Link.ReorderRate > 0 {
 					sawReorder = true
 				}
+				if a.Kind == chaos.KindSetHost && a.Host.EgressBudget > 0 {
+					sawEgress = true
+				}
 			}
 
 			simCfg := cfg
@@ -127,6 +133,8 @@ func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, require
 			s := simNet.Stats()
 			sim.Reordered += s.Reordered
 			sim.Throttled += s.Throttled
+			sim.Congested += s.Congested
+			sim.CollapseDropped += s.CollapseDropped
 
 			udpCfg := cfg
 			var udpFab *chaosnet.Fabric
@@ -138,6 +146,8 @@ func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, require
 			u := udpFab.Stats()
 			udp.Reordered += u.Reordered
 			udp.Throttled += u.Throttled
+			udp.Congested += u.Congested
+			udp.CollapseDropped += u.CollapseDropped
 
 			switch {
 			case simErr == nil && udpErr != nil:
@@ -163,12 +173,25 @@ func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, require
 	if !sawReorder {
 		t.Error("no generated schedule included an explicit reorder burst")
 	}
+	if !sawEgress {
+		t.Error("no generated schedule included an egress squeeze")
+	}
+	// Ledger parity: a rule the sweep exercised must have fired on both
+	// substrates. Counts differ — presence must not.
 	if sim.Reordered == 0 || udp.Reordered == 0 {
 		t.Errorf("reorder rule never fired (sim=%d udp=%d held frames)", sim.Reordered, udp.Reordered)
 	}
 	if sim.Throttled == 0 || udp.Throttled == 0 {
 		t.Errorf("bandwidth rule never fired (sim=%d udp=%d throttled frames)", sim.Throttled, udp.Throttled)
 	}
+	if sim.Congested == 0 || udp.Congested == 0 {
+		t.Errorf("egress budget never congested (sim=%d udp=%d queued packets)", sim.Congested, udp.Congested)
+	}
+	// CollapseDropped is deliberately not parity-checked: the polite
+	// squeeze parameters make queue overflow rare enough that whether a
+	// particular sweep crosses the bound is a timing accident on the
+	// UDP side. The drop policy itself is pinned by the shared-math unit
+	// tests and the sim-only congestion regression.
 }
 
 // TestDifferentialConformance is the polite-generator sweep, with the

@@ -1,0 +1,122 @@
+// Token-bucket serialization math shared by every rate rule in the
+// fault vocabulary: Link.Bandwidth (per directed link) and
+// Host.EgressBudget (shared across all of one host's outgoing links),
+// on both fabrics (netsim against virtual time, chaosnet against wall
+// time). Both rules model a draining bucket as a single busy-until
+// horizon, so the arithmetic lives here exactly once and the fabrics
+// cannot drift apart on rounding or queueing decisions.
+
+package netsim
+
+import (
+	"time"
+
+	"horus/internal/core"
+)
+
+// Host describes per-host resource limits shared across every outgoing
+// link of one endpoint. The zero value imposes none — exactly like the
+// zero Link, a perfect host.
+type Host struct {
+	// EgressBudget, when positive, caps the host's total egress at
+	// EgressBudget bytes per second, shared across all outgoing links:
+	// before propagating, a packet must acquire tokens from its host's
+	// egress bucket first and its link's bandwidth bucket second, so a
+	// host saturated by one flow delays every other flow it originates
+	// — the shared NIC queue a per-link model cannot express. Loopback
+	// copies (a packet a host addresses to itself) never cross the NIC
+	// and are exempt on both fabrics.
+	EgressBudget int
+	// EgressQueue bounds, in bytes, the backlog awaiting egress
+	// tokens. A packet that finds a nonempty backlog which it would
+	// push past the bound is dropped and counted in the CollapseDropped
+	// ledger — the tail drop that makes true congestion collapse
+	// (goodput falling as offered load rises) expressible, not just
+	// delay. A packet that finds the backlog empty is always admitted,
+	// so a budget or queue smaller than one packet produces delay,
+	// never a blackhole. Zero means DefaultEgressQueue.
+	EgressQueue int
+}
+
+// DefaultEgressQueue is the egress backlog bound applied when
+// Host.EgressQueue is zero: roughly a real NIC ring's worth of frames.
+const DefaultEgressQueue = 64 * 1024
+
+// queueBytes resolves the host's backlog bound.
+func (h Host) queueBytes() int {
+	if h.EgressQueue > 0 {
+		return h.EgressQueue
+	}
+	return DefaultEgressQueue
+}
+
+// XmitTime is how long size bytes occupy a bucket draining at rate
+// bytes per second. Sub-nanosecond remainders truncate toward zero —
+// a packet small enough against a fast enough bucket serializes in 0ns
+// — and a zero-length packet occupies no time at any rate.
+func XmitTime(size, rate int) time.Duration {
+	return time.Duration(int64(size) * int64(time.Second) / int64(rate))
+}
+
+// BucketAcquire reserves size bytes on a bucket draining at rate
+// bytes per second: the transfer starts at max(now, free) — the bucket
+// refills nothing across idle gaps beyond becoming immediately
+// available, so there is no burst credit — occupies XmitTime(size,
+// rate), and the returned newFree is the bucket's next busy-until
+// horizon. queued reports whether the packet had to wait behind
+// earlier traffic (free > now), which is what the Throttled and
+// Congested ledgers count.
+func BucketAcquire(now, free time.Duration, size, rate int) (newFree time.Duration, queued bool) {
+	depart := now
+	if free > depart {
+		depart = free
+		queued = true
+	}
+	return depart + XmitTime(size, rate), queued
+}
+
+// BucketBacklog is how many bytes are still untransmitted on a bucket
+// with busy-until horizon free at time now — the queue depth the
+// Host.EgressQueue bound is checked against. A drained or idle bucket
+// reports zero.
+func BucketBacklog(now, free time.Duration, rate int) int {
+	if free <= now {
+		return 0
+	}
+	return int(int64(free-now) * int64(rate) / int64(time.Second))
+}
+
+// EgressOutcome is the result of one host-bucket acquisition, shared
+// by both fabrics so their ledger decisions are byte-identical.
+type EgressOutcome uint8
+
+// Egress admission outcomes.
+const (
+	EgressPass    EgressOutcome = iota // no budget, or loopback: bucket untouched
+	EgressGranted                      // tokens acquired, bucket was idle
+	EgressQueued                       // tokens acquired behind a backlog (Congested)
+	EgressDropped                      // backlog bound exceeded (CollapseDropped)
+)
+
+// EgressAcquire runs the shared admission policy for one packet of
+// size bytes leaving host from toward dst at time now, given the
+// host's current busy-until horizon free. It returns the new horizon
+// (unchanged unless tokens were acquired), the time at which the
+// packet fully clears the NIC (now, when the budget does not apply;
+// the bucket is store-and-forward, so a granted packet clears only
+// once fully serialized), and the ledger outcome. Pure function of its
+// arguments — both fabrics call it under their own lock with their own
+// clock.
+func EgressAcquire(h Host, from, dst core.EndpointID, now, free time.Duration, size int) (newFree, clear time.Duration, out EgressOutcome) {
+	if h.EgressBudget <= 0 || from == dst {
+		return free, now, EgressPass
+	}
+	if backlog := BucketBacklog(now, free, h.EgressBudget); backlog > 0 && backlog+size > h.queueBytes() {
+		return free, now, EgressDropped
+	}
+	newFree, queued := BucketAcquire(now, free, size, h.EgressBudget)
+	if queued {
+		return newFree, newFree, EgressQueued
+	}
+	return newFree, newFree, EgressGranted
+}

@@ -86,6 +86,14 @@ type Stats struct {
 	Bytes      int // wire bytes delivered
 	Reordered  int // packets held back by the reorder rule
 	Throttled  int // packets that queued behind earlier traffic (bandwidth)
+	// Congested counts packets that queued behind earlier traffic in
+	// their host's shared egress bucket (Host.EgressBudget) — the
+	// per-host analogue of Throttled.
+	Congested int
+	// CollapseDropped counts packets dropped because the host's
+	// bounded egress queue overflowed: offered load exceeded the
+	// egress budget for long enough that delay turned into loss.
+	CollapseDropped int
 }
 
 // Network is a simulated broadcast medium connecting endpoints. It
@@ -93,21 +101,23 @@ type Stats struct {
 // RunFor / Step on a single goroutine; virtual time only advances
 // there.
 type Network struct {
-	mu        sync.Mutex
-	now       time.Duration
-	events    eventHeap
-	seq       uint64
-	rng       *rand.Rand
-	endpoints map[core.EndpointID]*core.Endpoint
-	order     []core.EndpointID // attach order, for deterministic fan-out
-	links     map[pair]Link     // directed overrides: pair{from, to}
-	def       Link
-	crashed   map[core.EndpointID]bool
-	partition map[core.EndpointID]int // partition id; absent = 0
-	linkFree  map[pair]time.Duration  // directed link busy-until (bandwidth model)
-	held      map[pair][]*heldPacket  // directed link reorder holds
-	nextBirth uint64
-	stats     Stats
+	mu         sync.Mutex
+	now        time.Duration
+	events     eventHeap
+	seq        uint64
+	rng        *rand.Rand
+	endpoints  map[core.EndpointID]*core.Endpoint
+	order      []core.EndpointID // attach order, for deterministic fan-out
+	links      map[pair]Link     // directed overrides: pair{from, to}
+	def        Link
+	crashed    map[core.EndpointID]bool
+	partition  map[core.EndpointID]int // partition id; absent = 0
+	linkFree   map[pair]time.Duration  // directed link busy-until (bandwidth model)
+	held       map[pair][]*heldPacket  // directed link reorder holds
+	hosts      map[core.EndpointID]Host
+	egressFree map[core.EndpointID]time.Duration // per-host egress busy-until
+	nextBirth  uint64
+	stats      Stats
 }
 
 // heldPacket is one packet parked by the reorder rule, waiting for
@@ -124,15 +134,17 @@ type pair struct{ a, b core.EndpointID }
 // New creates a network.
 func New(cfg Config) *Network {
 	return &Network{
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		endpoints: make(map[core.EndpointID]*core.Endpoint),
-		links:     make(map[pair]Link),
-		def:       cfg.DefaultLink,
-		crashed:   make(map[core.EndpointID]bool),
-		partition: make(map[core.EndpointID]int),
-		linkFree:  make(map[pair]time.Duration),
-		held:      make(map[pair][]*heldPacket),
-		nextBirth: 1,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		endpoints:  make(map[core.EndpointID]*core.Endpoint),
+		links:      make(map[pair]Link),
+		def:        cfg.DefaultLink,
+		crashed:    make(map[core.EndpointID]bool),
+		partition:  make(map[core.EndpointID]int),
+		linkFree:   make(map[pair]time.Duration),
+		held:       make(map[pair][]*heldPacket),
+		hosts:      make(map[core.EndpointID]Host),
+		egressFree: make(map[core.EndpointID]time.Duration),
+		nextBirth:  1,
 	}
 }
 
@@ -192,6 +204,27 @@ func (n *Network) SetDefaultLink(l Link) {
 	n.def = l
 }
 
+// SetHost overrides the per-host limits for the named endpoint. An
+// explicit zero-value Host means "no limits", same as never calling
+// SetHost; the distinction link overrides make (override vs default)
+// does not arise because there is no default host rule.
+func (n *Network) SetHost(id core.EndpointID, h Host) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[id] = h
+	// A fresh budget starts with an empty bucket: the horizon of a
+	// previous, possibly tighter budget must not leak into this one.
+	delete(n.egressFree, id)
+}
+
+// ClearHost removes the per-host limits for the named endpoint.
+func (n *Network) ClearHost(id core.EndpointID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, id)
+	delete(n.egressFree, id)
+}
+
 func (n *Network) linkFor(from, to core.EndpointID) Link {
 	if l, ok := n.links[pair{from, to}]; ok {
 		return l
@@ -247,6 +280,8 @@ func (n *Network) Detach(id core.EndpointID) {
 			delete(n.held, p)
 		}
 	}
+	delete(n.hosts, id)
+	delete(n.egressFree, id)
 }
 
 // Crashed reports whether the endpoint has been crashed.
@@ -343,16 +378,30 @@ func (n *Network) sendOneLocked(from core.EndpointID, group core.GroupAddr, dst 
 	}
 }
 
-// transmitLocked puts one packet on the directed link: propagation
-// delay, jitter, and bandwidth serialization, then a scheduled
-// delivery. The link rule is read at transmit time, so a packet
-// released from a reorder hold sees the rule in force when it actually
-// departs. Caller holds n.mu.
+// transmitLocked puts one packet on the directed link: host egress
+// budget, then propagation delay, jitter, and bandwidth serialization,
+// then a scheduled delivery. Rules are read at transmit time, so a
+// packet released from a reorder hold sees the rules in force when it
+// actually departs. The host bucket is acquired before the link
+// bucket: the packet clears the sender's shared NIC first
+// (store-and-forward), then contends for the directed link from that
+// moment. Caller holds n.mu.
 func (n *Network) transmitLocked(from core.EndpointID, group core.GroupAddr, dst core.EndpointID, buf []byte) {
 	ep := n.endpoints[dst]
 	if ep == nil || n.crashed[dst] {
 		n.stats.Blocked++
 		return
+	}
+	newFree, clear, out := EgressAcquire(n.hosts[from], from, dst, n.now, n.egressFree[from], len(buf))
+	switch out {
+	case EgressDropped:
+		n.stats.CollapseDropped++
+		return
+	case EgressQueued:
+		n.stats.Congested++
+		n.egressFree[from] = newFree
+	case EgressGranted:
+		n.egressFree[from] = newFree
 	}
 	l := n.linkFor(from, dst)
 	delay := l.Delay
@@ -360,17 +409,18 @@ func (n *Network) transmitLocked(from core.EndpointID, group core.GroupAddr, dst
 		delay += time.Duration(n.rng.Int63n(int64(l.Jitter)))
 	}
 	if l.Bandwidth > 0 {
-		// Serialize on the directed link: the packet departs when
-		// the link is free and occupies it for size/Bandwidth.
+		// Serialize on the directed link: the packet departs when the
+		// link is free — no earlier than its NIC clear time — and
+		// occupies the link for size/Bandwidth.
 		dir := pair{a: from, b: dst}
-		depart := n.now
-		if busy := n.linkFree[dir]; busy > depart {
-			depart = busy
+		linkFree, queued := BucketAcquire(clear, n.linkFree[dir], len(buf), l.Bandwidth)
+		if queued {
 			n.stats.Throttled++
 		}
-		xmit := time.Duration(int64(len(buf)) * int64(time.Second) / int64(l.Bandwidth))
-		n.linkFree[dir] = depart + xmit
-		delay += depart + xmit - n.now
+		n.linkFree[dir] = linkFree
+		delay += linkFree - n.now
+	} else {
+		delay += clear - n.now
 	}
 	dstEp, dstID := ep, dst
 	n.scheduleLocked(n.now+delay, func() {

@@ -401,3 +401,245 @@ func TestReorderDeterministic(t *testing.T) {
 		t.Fatalf("delivery order diverged:\n%v\n%v", got1, got2)
 	}
 }
+
+// TestXmitTime: the serialization arithmetic both rate rules share.
+// Sub-nanosecond remainders truncate, zero-length packets are free.
+func TestXmitTime(t *testing.T) {
+	cases := []struct {
+		name       string
+		size, rate int
+		want       time.Duration
+	}{
+		{"one second exactly", 1000, 1000, time.Second},
+		{"zero-length packet", 0, 1000, 0},
+		{"sub-nanosecond truncates", 1, 2_000_000_000, 0},
+		{"just above a nanosecond", 3, 2_000_000_000, time.Nanosecond},
+		{"packet bigger than a second of budget", 3000, 1000, 3 * time.Second},
+		{"single byte at 1B/s", 1, 1, time.Second},
+	}
+	for _, c := range cases {
+		if got := netsim.XmitTime(c.size, c.rate); got != c.want {
+			t.Errorf("%s: XmitTime(%d, %d) = %v, want %v", c.name, c.size, c.rate, got, c.want)
+		}
+	}
+}
+
+// TestBucketAcquire: the busy-until horizon math — departures start at
+// max(now, free), idle gaps don't accrue burst credit, and queued is
+// reported exactly when the packet waited.
+func TestBucketAcquire(t *testing.T) {
+	cases := []struct {
+		name       string
+		now, free  time.Duration
+		size, rate int
+		wantFree   time.Duration
+		wantQueued bool
+	}{
+		{"idle bucket", 0, 0, 500, 1000, 500 * time.Millisecond, false},
+		{"queued behind backlog", 0, 200 * time.Millisecond, 500, 1000,
+			700 * time.Millisecond, true},
+		{"refill across a long idle gap", 10 * time.Second, time.Second, 500, 1000,
+			10*time.Second + 500*time.Millisecond, false},
+		{"horizon equal to now is not queued", time.Second, time.Second, 500, 1000,
+			time.Second + 500*time.Millisecond, false},
+		{"zero-length packet leaves horizon at depart", 0, 50 * time.Millisecond, 0, 1000,
+			50 * time.Millisecond, true},
+		{"budget smaller than one packet delays, never blocks", 0, 0, 4096, 1024,
+			4 * time.Second, false},
+	}
+	for _, c := range cases {
+		free, queued := netsim.BucketAcquire(c.now, c.free, c.size, c.rate)
+		if free != c.wantFree || queued != c.wantQueued {
+			t.Errorf("%s: BucketAcquire(%v, %v, %d, %d) = (%v, %v), want (%v, %v)",
+				c.name, c.now, c.free, c.size, c.rate, free, queued, c.wantFree, c.wantQueued)
+		}
+	}
+}
+
+// TestBucketBacklog: backlog converts the busy-until horizon back to
+// untransmitted bytes; drained and idle buckets report zero.
+func TestBucketBacklog(t *testing.T) {
+	cases := []struct {
+		name      string
+		now, free time.Duration
+		rate      int
+		want      int
+	}{
+		{"idle", time.Second, 0, 1000, 0},
+		{"exactly drained", time.Second, time.Second, 1000, 0},
+		{"half a second queued", 0, 500 * time.Millisecond, 1000, 500},
+		{"sub-byte residue truncates", 0, time.Nanosecond, 1000, 0},
+	}
+	for _, c := range cases {
+		if got := netsim.BucketBacklog(c.now, c.free, c.rate); got != c.want {
+			t.Errorf("%s: BucketBacklog(%v, %v, %d) = %d, want %d",
+				c.name, c.now, c.free, c.rate, got, c.want)
+		}
+	}
+}
+
+// TestEgressAcquire: the shared admission policy — pass-through for
+// unbudgeted hosts and loopback, tail drop only against a nonempty
+// backlog, and ledger outcomes matching what each fabric counts.
+func TestEgressAcquire(t *testing.T) {
+	from := core.EndpointID{Site: "a", Birth: 1}
+	dst := core.EndpointID{Site: "b", Birth: 2}
+	budget := netsim.Host{EgressBudget: 1000, EgressQueue: 600}
+	cases := []struct {
+		name      string
+		h         netsim.Host
+		from, dst core.EndpointID
+		now, free time.Duration
+		size      int
+		wantFree  time.Duration
+		wantClear time.Duration
+		wantOut   netsim.EgressOutcome
+	}{
+		{"no budget passes untouched", netsim.Host{}, from, dst,
+			0, 700 * time.Millisecond, 500, 700 * time.Millisecond, 0, netsim.EgressPass},
+		{"loopback exempt even with backlog", budget, from, from,
+			0, 700 * time.Millisecond, 500, 700 * time.Millisecond, 0, netsim.EgressPass},
+		{"idle bucket grants", budget, from, dst,
+			0, 0, 500, 500 * time.Millisecond, 500 * time.Millisecond, netsim.EgressGranted},
+		{"backlog within queue congests", budget, from, dst,
+			0, 100 * time.Millisecond, 500, 600 * time.Millisecond,
+			600 * time.Millisecond, netsim.EgressQueued},
+		{"backlog past queue drops", budget, from, dst,
+			0, 500 * time.Millisecond, 500, 500 * time.Millisecond, 0, netsim.EgressDropped},
+		{"empty backlog always admits oversized packet", netsim.Host{EgressBudget: 100, EgressQueue: 10},
+			from, dst, 0, 0, 4096, 40960 * time.Millisecond,
+			40960 * time.Millisecond, netsim.EgressGranted},
+		{"idle gap drains the backlog", budget, from, dst,
+			10 * time.Second, time.Second, 500,
+			10*time.Second + 500*time.Millisecond,
+			10*time.Second + 500*time.Millisecond, netsim.EgressGranted},
+	}
+	for _, c := range cases {
+		free, clear, out := netsim.EgressAcquire(c.h, c.from, c.dst, c.now, c.free, c.size)
+		if free != c.wantFree || clear != c.wantClear || out != c.wantOut {
+			t.Errorf("%s: EgressAcquire = (%v, %v, %d), want (%v, %v, %d)",
+				c.name, free, clear, out, c.wantFree, c.wantClear, c.wantOut)
+		}
+	}
+}
+
+// TestEgressBudgetSharedAcrossLinks: the host bucket is one bucket for
+// all destinations — a burst fanned out to two peers queues behind
+// itself even though each directed link is idle, and the Congested
+// ledger counts every packet that waited.
+func TestEgressBudgetSharedAcrossLinks(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 3})
+	a, _ := attach(t, net, "a")
+	b, lb := attach(t, net, "b")
+	c, lc := attach(t, net, "c")
+	net.SetHost(a.ID(), netsim.Host{EgressBudget: 1000})
+	for i := 0; i < 3; i++ {
+		send(a, fmt.Sprintf("to-b%d", i), b.ID())
+		send(a, fmt.Sprintf("to-c%d", i), c.ID())
+	}
+	net.RunFor(time.Minute)
+	if len(lb.got) != 3 || len(lc.got) != 3 {
+		t.Fatalf("delivered b=%d c=%d, want 3 each", len(lb.got), len(lc.got))
+	}
+	st := net.Stats()
+	if st.Congested != 5 {
+		t.Fatalf("Congested = %d, want 5 (burst of 6 across two links, first finds the host idle)", st.Congested)
+	}
+	if st.Throttled != 0 {
+		t.Fatalf("Throttled = %d, want 0 (no link has a bandwidth cap)", st.Throttled)
+	}
+	if st.CollapseDropped != 0 {
+		t.Fatalf("CollapseDropped = %d, want 0 (default queue absorbs the burst)", st.CollapseDropped)
+	}
+}
+
+// TestEgressQueueOverflowDrops: a bounded egress queue turns sustained
+// overload into CollapseDropped losses — but never blackholes: the
+// packet that finds the backlog empty is always admitted.
+func TestEgressQueueOverflowDrops(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 4})
+	a, _ := attach(t, net, "a")
+	b, lb := attach(t, net, "b")
+	// ~5B/packet payload; budget drains 100 B/s, queue holds ~2 packets.
+	net.SetHost(a.ID(), netsim.Host{EgressBudget: 100, EgressQueue: 60})
+	for i := 0; i < 10; i++ {
+		send(a, fmt.Sprintf("pkt%d", i), b.ID())
+	}
+	net.RunFor(time.Minute)
+	st := net.Stats()
+	if st.CollapseDropped == 0 {
+		t.Fatal("queue overflow never dropped: CollapseDropped = 0")
+	}
+	if len(lb.got) == 0 {
+		t.Fatal("bounded queue blackholed the link: nothing delivered")
+	}
+	if len(lb.got)+st.CollapseDropped != 10 {
+		t.Fatalf("delivered %d + dropped %d != 10 sent", len(lb.got), st.CollapseDropped)
+	}
+	// ClearHost lifts the budget: traffic flows freely again.
+	net.ClearHost(a.ID())
+	send(a, "after", b.ID())
+	net.RunFor(time.Second)
+	if got := lb.got[len(lb.got)-1]; got != "after" {
+		t.Fatalf("after ClearHost, last delivery = %q, want %q", got, "after")
+	}
+	if post := net.Stats(); post.CollapseDropped != st.CollapseDropped {
+		t.Fatalf("ClearHost did not lift the budget: drops grew %d -> %d",
+			st.CollapseDropped, post.CollapseDropped)
+	}
+}
+
+// TestEgressLoopbackExempt: a broadcast's self-copy never crosses the
+// NIC, so it is delivered instantly and untouched by the egress
+// budget — matching chaosnet, where members are simply not wired to
+// their own proxy.
+func TestEgressLoopbackExempt(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 5})
+	a, la := attach(t, net, "a")
+	_, lb := attach(t, net, "b")
+	net.SetHost(a.ID(), netsim.Host{EgressBudget: 10, EgressQueue: 20})
+	for i := 0; i < 4; i++ {
+		send(a, fmt.Sprintf("m%d", i)) // broadcast: self + b
+	}
+	net.RunFor(10 * time.Second)
+	if len(la.got) != 4 {
+		t.Fatalf("self-copies delivered %d, want 4 (loopback is budget-exempt)", len(la.got))
+	}
+	st := net.Stats()
+	if len(lb.got)+st.CollapseDropped != 4 {
+		t.Fatalf("b got %d + dropped %d != 4 (budget applies to the wire copy only)",
+			len(lb.got), st.CollapseDropped)
+	}
+}
+
+// TestEgressDeterministic: the egress machinery keys off virtual time
+// and seeded draws only, so runs replay exactly — counters included.
+func TestEgressDeterministic(t *testing.T) {
+	run := func() ([]string, netsim.Stats) {
+		net := netsim.New(netsim.Config{Seed: 42, DefaultLink: netsim.Link{
+			Delay: time.Millisecond, Jitter: 2 * time.Millisecond,
+		}})
+		a, _ := attach(t, net, "a")
+		b, lb := attach(t, net, "b")
+		net.SetHost(a.ID(), netsim.Host{EgressBudget: 200, EgressQueue: 40})
+		for i := 0; i < 30; i++ {
+			i := i
+			net.At(time.Duration(i)*10*time.Millisecond, func() {
+				send(a, fmt.Sprintf("m%02d", i), b.ID())
+			})
+		}
+		net.RunFor(time.Minute)
+		return lb.got, net.Stats()
+	}
+	got1, st1 := run()
+	got2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats diverged:\n%+v\n%+v", st1, st2)
+	}
+	if st1.Congested == 0 || st1.CollapseDropped == 0 {
+		t.Fatalf("squeeze never bit: Congested=%d CollapseDropped=%d", st1.Congested, st1.CollapseDropped)
+	}
+	if fmt.Sprint(got1) != fmt.Sprint(got2) {
+		t.Fatalf("deliveries diverged:\n%v\n%v", got1, got2)
+	}
+}
