@@ -366,7 +366,7 @@ func TestGenerateHarshSelfCleaning(t *testing.T) {
 // polite class (loss ramps, asymmetric loss, flaps, crashes,
 // partitions, bandwidth squeezes, reorder bursts, egress squeezes)
 // and every harsh-only class (multi-way splits, anchor crashes,
-// majority loss). A renumbering or probability change that silently
+// majority loss, composite degradation). A renumbering or probability change that silently
 // starves one class out of the nightly sweep fails here, not months
 // later when the untested class regresses.
 func TestHarshVocabularyCoverage(t *testing.T) {
@@ -392,6 +392,7 @@ func TestHarshVocabularyCoverage(t *testing.T) {
 		{"multi-way split", func(a Action) bool { return strings.HasSuffix(a.Note, "way split") }},
 		{"anchor crash", func(a Action) bool { return a.Note == "anchor crash" }},
 		{"majority loss", func(a Action) bool { return strings.HasPrefix(a.Note, "majority loss") }},
+		{"composite degradation", func(a Action) bool { return a.Note == "degrade squeeze" }},
 	}
 
 	seen := make(map[string]int64) // class -> first seed that drew it

@@ -35,12 +35,15 @@ type GenConfig struct {
 // its links, with a bounded queue whose overflow drops — congestion
 // collapse, not just delay). All self-clean like every other incident.
 //
-// Harsh mode drops the survivability politeness and adds three
+// Harsh mode drops the survivability politeness and adds four
 // incident classes: multi-way partitions (three components, forcing
 // multi-way merges on heal), anchor crashes (slot 0 goes down, so the
-// reconciler must re-anchor mid-chaos), and majority loss (half the
+// reconciler must re-anchor mid-chaos), majority loss (half the
 // cluster fail-stops at once, which a primary-partition stack must
-// ride out without minority progress). Harsh partitions also ignore
+// ride out without minority progress), and composite degradation (one
+// member's egress budget squeezed into collapse while a bystander is
+// partitioned away mid-squeeze — the failure-detection-under-congestion
+// shape the ADAPT layer exists for). Harsh partitions also ignore
 // the one-at-a-time spacing: a new split may land while one is held,
 // replacing it — the overlap a real cascading failure produces.
 func Generate(seed int64, cfg GenConfig) Schedule {
@@ -62,7 +65,7 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 
 	kinds := 8
 	if cfg.Harsh {
-		kinds = 11
+		kinds = 12
 	}
 	var crashBusyUntil, partBusyUntil time.Duration
 	for i := 0; i < cfg.Incidents; i++ {
@@ -192,6 +195,35 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 				}
 			}
 			crashBusyUntil = last + 300*time.Millisecond
+		case 11: // harsh: composite degradation — collapse squeeze while a bystander drops out
+			a := rng.Intn(cfg.Members)
+			bps := 4096 * (1 + rng.Intn(2)) // 4 or 8 KB/s across ALL links
+			// An eighth of a second of backlog: sustained overload turns
+			// into CollapseDropped fast, while φ toward the isolated
+			// member climbs through the suspect bands.
+			queue := bps / 8
+			hold := dur(700*time.Millisecond, 1400*time.Millisecond)
+			v := rng.Intn(cfg.Members - 1) // isolate someone other than the squeezed member
+			if v >= a {
+				v++
+			}
+			rest := make([]int, 0, cfg.Members-1)
+			for m := 0; m < cfg.Members; m++ {
+				if m != v {
+					rest = append(rest, m)
+				}
+			}
+			pStart, pHold := start+hold/4, hold/2
+			s = append(s,
+				Action{At: start, Kind: KindSetHost, A: a,
+					Host: netsim.Host{EgressBudget: bps, EgressQueue: queue},
+					Note: "degrade squeeze"},
+				Action{At: start + hold, Kind: KindClearHost, A: a,
+					Note: "degrade squeeze end"},
+				Action{At: pStart, Kind: KindPartition, Sides: [][]int{rest, {v}},
+					Note: "degrade isolate"},
+				Action{At: pStart + pHold, Kind: KindHeal, Note: "degrade heal"})
+			partBusyUntil = pStart + pHold + 300*time.Millisecond
 		}
 	}
 

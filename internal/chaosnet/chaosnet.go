@@ -109,7 +109,12 @@ type Fabric struct {
 	held       map[pair][]*heldFrame      // directed link reorder holds
 	hosts      map[core.EndpointID]netsim.Host
 	egressFree map[core.EndpointID]time.Duration // per-host egress busy-until
-	nextBirth  uint64
+	// Per-host slices of the egress ledger, served to each member's
+	// transport through the core.CongestionReporter hook — the same
+	// split netsim keeps, so ADAPT sees one vocabulary on both fabrics.
+	egressCongested map[core.EndpointID]uint64
+	egressDropped   map[core.EndpointID]uint64
+	nextBirth       uint64
 	stats      Stats
 	retired    udpnet.Stats // transport counters of detached incarnations
 	timers     []*time.Timer
@@ -144,9 +149,11 @@ func New(cfg Config) *Fabric {
 		bySrc:      make(map[string]core.EndpointID),
 		linkFree:   make(map[pair]time.Duration),
 		held:       make(map[pair][]*heldFrame),
-		hosts:      make(map[core.EndpointID]netsim.Host),
-		egressFree: make(map[core.EndpointID]time.Duration),
-		nextBirth:  1,
+		hosts:           make(map[core.EndpointID]netsim.Host),
+		egressFree:      make(map[core.EndpointID]time.Duration),
+		egressCongested: make(map[core.EndpointID]uint64),
+		egressDropped:   make(map[core.EndpointID]uint64),
+		nextBirth:       1,
 	}
 }
 
@@ -181,10 +188,29 @@ func (f *Fabric) NewEndpoint(site string) *core.Endpoint {
 	f.bySrc[tr.Addr().String()] = id
 	f.mu.Unlock()
 
+	// The member's transport serves the fabric's egress ledger to its
+	// stack: layers polling Context.EgressFeedback over UDP read the
+	// same per-host counters the simulator serves natively.
+	tr.SetEgressFeedback(func() core.EgressFeedback { return f.EgressFeedback(id) })
+
 	n.ep = tr.NewEndpoint()
 	f.wg.Add(1)
 	go f.proxyLoop(n)
 	return n.ep
+}
+
+// EgressFeedback snapshots the egress ledger charged to one sending
+// member: current bucket backlog plus cumulative congestion counters.
+// Counters survive SetHost/ClearHost and reset only on Detach,
+// matching netsim.
+func (f *Fabric) EgressFeedback(id core.EndpointID) core.EgressFeedback {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return core.EgressFeedback{
+		BacklogBytes:    netsim.BucketBacklog(time.Since(f.start), f.egressFree[id], f.hosts[id].EgressBudget),
+		Congested:       f.egressCongested[id],
+		CollapseDropped: f.egressDropped[id],
+	}
 }
 
 // proxyLoop relays frames arriving at a member's proxy socket to the
@@ -295,9 +321,11 @@ func (f *Fabric) xmitDelayLocked(dir pair, l netsim.Link, size int) (delay time.
 	switch out {
 	case netsim.EgressDropped:
 		f.stats.CollapseDropped++
+		f.egressDropped[dir.a]++
 		return 0, false
 	case netsim.EgressQueued:
 		f.stats.Congested++
+		f.egressCongested[dir.a]++
 		f.egressFree[dir.a] = newFree
 	case netsim.EgressGranted:
 		f.egressFree[dir.a] = newFree
@@ -514,6 +542,8 @@ func (f *Fabric) Detach(id core.EndpointID) {
 	}
 	delete(f.hosts, id)
 	delete(f.egressFree, id)
+	delete(f.egressCongested, id)
+	delete(f.egressDropped, id)
 	f.mu.Unlock()
 	if n != nil {
 		n.tr.Close()

@@ -108,6 +108,9 @@ func TestHCPIUpcallsComplete(t *testing.T) {
 	if len(events) != 14 {
 		t.Fatalf("Table 2 has 14 upcalls, map has %d", len(events))
 	}
+	// Framework extension beyond the paper's Table 2: the φ-graded
+	// SUSPECT upcall the failure detector feeds to adaptive layers.
+	events["SUSPECT"] = USuspect
 	for name, et := range events {
 		if !et.IsUpcall() {
 			t.Errorf("%s is not classified as an upcall", name)

@@ -93,13 +93,22 @@ const (
 	// ULocate reports a discovery beacon from another view (companion
 	// to DLocate; consumed by the MERGE layer).
 	ULocate
+	// USuspect reports graded suspicion of member Source: the φ-accrual
+	// suspicion level (Phi) crossed a detector band, or fell back below
+	// one (a retraction). Not in Table 2: it extends the vocabulary with
+	// the continuous signal between "healthy" and the binary PROBLEM
+	// verdict, so adaptive layers (ADAPT) and applications can react to
+	// degradation before exclusion. Emitted by HBEAT under the contract
+	// documented in DESIGN.md: banded thresholds with hysteresis, at most
+	// one upcall per band transition, monotone within a band.
+	USuspect
 )
 
 // IsDowncall reports whether t travels from application to network.
 func (t EventType) IsDowncall() bool { return t >= DCast && t <= DLocate }
 
 // IsUpcall reports whether t travels from network to application.
-func (t EventType) IsUpcall() bool { return t >= UPacket && t <= ULocate }
+func (t EventType) IsUpcall() bool { return t >= UPacket && t <= USuspect }
 
 var eventNames = map[EventType]string{
 	DCast: "cast", DSend: "send", DAck: "ack", DStable: "stable",
@@ -111,7 +120,7 @@ var eventNames = map[EventType]string{
 	ULostMessage: "LOST_MESSAGE", UStable: "STABLE", UProblem: "PROBLEM",
 	USystemError: "SYSTEM_ERROR", UExit: "EXIT",
 	UMergeRequest: "MERGE_REQUEST", UMergeDenied: "MERGE_DENIED",
-	ULocate: "LOCATE",
+	ULocate: "LOCATE", USuspect: "SUSPECT",
 }
 
 // String returns the paper's name for the event type: lower case for
@@ -168,7 +177,13 @@ type Event struct {
 
 	// Priority orders competing transmissions in a prioritized-effort
 	// layer (NNAK, property P2). Higher is more urgent; 0 is normal.
+	// The ADAPT layer sheds lowest-priority casts first under overload.
 	Priority int
+
+	// Phi is the φ-accrual suspicion level carried by a SUSPECT upcall.
+	// Higher means longer-than-expected silence from Source; a
+	// retraction carries the (lower) level φ fell back to.
+	Phi float64
 
 	// Primary marks a VIEW upcall as belonging to the primary
 	// partition when the membership layer runs with the Isis-style

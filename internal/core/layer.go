@@ -119,6 +119,18 @@ func (c *Context) SetTimer(d time.Duration, fn func()) (cancel func()) {
 // Now returns the transport's current (possibly virtual) time.
 func (c *Context) Now() time.Duration { return c.stack.group.ep.transport.Now() }
 
+// EgressFeedback snapshots the local host's egress-congestion ledger
+// when the transport meters egress (implements CongestionReporter).
+// ok is false on transports without an egress model; adaptive layers
+// must degrade to φ-only operation in that case.
+func (c *Context) EgressFeedback() (EgressFeedback, bool) {
+	ep := c.stack.group.ep
+	if r, ok := ep.transport.(CongestionReporter); ok {
+		return r.EgressFeedback(ep.id), true
+	}
+	return EgressFeedback{}, false
+}
+
 // Self returns the local endpoint's identifier.
 func (c *Context) Self() EndpointID { return c.stack.group.ep.id }
 

@@ -24,3 +24,35 @@ type Transport interface {
 	// this is virtual time.
 	Now() time.Duration
 }
+
+// EgressFeedback is a snapshot of the local egress ledger for one
+// sending host: how much the host's token bucket is backed up and how
+// many frames the fabric has delayed or dropped on its account. It is
+// the congestion vocabulary surfaced *into* the layer interface — an
+// adaptive layer polls it through Context.EgressFeedback and closes
+// the loop between fabric backpressure and the send path, instead of
+// discovering overload only through end-to-end loss.
+type EgressFeedback struct {
+	// BacklogBytes is the current depth of the host's egress queue:
+	// bytes admitted by the token bucket but not yet clear of the
+	// serialization horizon. Zero when the bucket is idle.
+	BacklogBytes int
+
+	// Congested counts frames from this host that were queued behind
+	// the egress budget (delivered late) since the fabric started.
+	Congested uint64
+
+	// CollapseDropped counts frames from this host dropped because the
+	// egress queue overflowed — the congestion-collapse signal.
+	CollapseDropped uint64
+}
+
+// CongestionReporter is the optional transport interface behind the
+// egress feedback hook. Fabrics that meter per-host egress (netsim,
+// chaosnet via udpnet) implement it; transports without an egress
+// model simply don't, and Context.EgressFeedback reports ok=false.
+type CongestionReporter interface {
+	// EgressFeedback snapshots the egress ledger for the given sending
+	// endpoint. Must be safe to call from the endpoint's event loop.
+	EgressFeedback(id EndpointID) EgressFeedback
+}

@@ -33,6 +33,8 @@ type Service struct {
 	faulty    map[core.EndpointID]bool
 	subs      []func(faulty []core.EndpointID)
 	phiSrcs   []PhiSource
+	suspectFn []func(subject core.EndpointID, phi float64)
+	suspected map[core.EndpointID]float64 // latest pushed φ per subject
 }
 
 // PhiSource reports a continuous suspicion level (φ-accrual scale) for
@@ -52,6 +54,7 @@ func NewService(threshold int) *Service {
 		threshold: threshold,
 		reports:   make(map[core.EndpointID]map[core.EndpointID]bool),
 		faulty:    make(map[core.EndpointID]bool),
+		suspected: make(map[core.EndpointID]float64),
 	}
 }
 
@@ -88,14 +91,54 @@ func (s *Service) Phi(e core.EndpointID) float64 {
 	}
 	srcs := make([]PhiSource, len(s.phiSrcs))
 	copy(srcs, s.phiSrcs)
+	pushed := s.suspected[e]
 	s.mu.Unlock()
-	var max float64
+	// Max over pulled sources and the latest pushed SUSPECT level. A
+	// source returning NaN or a negative φ contributes nothing: NaN
+	// compares false against everything and would otherwise poison the
+	// max, and φ is non-negative by construction (-log10 of a
+	// probability), so a negative report is a source bug, not evidence
+	// of health.
+	max := 0.0
+	if !math.IsNaN(pushed) && pushed > 0 {
+		max = pushed
+	}
 	for _, src := range srcs {
-		if phi := src(e); phi > max {
+		if phi := src(e); !math.IsNaN(phi) && phi > max {
 			max = phi
 		}
 	}
 	return max
+}
+
+// SubscribeSuspect registers fn to receive every graded suspicion the
+// service hears (via ReportSuspect, typically fed by SUSPECT upcalls):
+// the subject and its current φ, retractions included. Subscribers run
+// without internal locks held, on the reporting goroutine — keep them
+// fast. This is the push complement of the pull-only Phi: applications
+// see suspicion rise and fall without polling.
+func (s *Service) SubscribeSuspect(fn func(subject core.EndpointID, phi float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.suspectFn = append(s.suspectFn, fn)
+}
+
+// ReportSuspect records a graded suspicion level for subject and fans
+// it out to SubscribeSuspect subscribers. The latest level also feeds
+// Phi's max until it is superseded, cleared, or the subject turns
+// faulty. NaN and negative levels are recorded as zero (see Phi).
+func (s *Service) ReportSuspect(subject core.EndpointID, phi float64) {
+	if math.IsNaN(phi) || phi < 0 {
+		phi = 0
+	}
+	s.mu.Lock()
+	s.suspected[subject] = phi
+	fns := make([]func(core.EndpointID, float64), len(s.suspectFn))
+	copy(fns, s.suspectFn)
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(subject, phi)
+	}
 }
 
 // Report records that observer suspects suspect. If the threshold is
@@ -133,6 +176,7 @@ func (s *Service) Clear(e core.EndpointID) {
 	defer s.mu.Unlock()
 	delete(s.faulty, e)
 	delete(s.reports, e)
+	delete(s.suspected, e)
 }
 
 // Faulty returns the current verdict set.
@@ -169,10 +213,13 @@ func (s *Service) WrapHandler(g **core.Group, inner core.Handler) core.Handler {
 		}
 	})
 	return func(ev *core.Event) {
-		if ev.Type == core.UProblem {
+		switch ev.Type {
+		case core.UProblem:
 			if grp := *g; grp != nil {
 				s.Report(grp.Endpoint().ID(), ev.Source)
 			}
+		case core.USuspect:
+			s.ReportSuspect(ev.Source, ev.Phi)
 		}
 		if inner != nil {
 			inner(ev)

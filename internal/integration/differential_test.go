@@ -92,16 +92,22 @@ func runDifferentialSeed(seed int64, cfg chaos.SoakConfig) error {
 }
 
 // runDifferentialSweep sweeps seeds over both fabrics and demands that
-// each seed is invariant-clean on both. With requireCoverage it also
-// pins the sweep's vocabulary — the generated schedules must include at
-// least one bandwidth cap, one explicit reorder burst, and one egress
-// squeeze — and upgrades survival parity to ledger parity: every flow
-// rule the sweep exercised must show nonzero firings on BOTH
-// substrates. Exact counts legitimately differ (kernel timing vs
-// virtual time), but a rule that fires on one fabric and never on the
-// other means the two implementations have drifted apart.
+// each seed is invariant-clean on both. Beyond survival parity it pins
+// ledger parity per sweep: every flow rule the sweep's schedules
+// exercised must show nonzero firings on BOTH substrates. Exact counts
+// legitimately differ (kernel timing vs virtual time), but a rule that
+// fires on one fabric and never on the other means the two
+// implementations have drifted apart. Which rules are demanded depends
+// on the sweep: with requireCoverage the polite generator must
+// exercise reorder, bandwidth throttling, and egress congestion; a
+// harsh sweep's composite degradation incidents squeeze hard enough
+// that queue overflow — the CollapseDropped ledger — must additionally
+// fire on both substrates. (Polite squeezes deliberately don't carry
+// that last demand: their parameters make overflow rare enough that
+// whether a particular sweep crosses the bound is a timing accident on
+// the UDP side.)
 func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, requireCoverage bool) {
-	var sawBandwidth, sawReorder, sawEgress bool
+	var sawBandwidth, sawReorder, sawEgress, sawDegrade bool
 	var sim netsim.Stats
 	var udp chaosnet.Stats
 	for seed := int64(1); seed <= int64(seeds); seed++ {
@@ -120,6 +126,9 @@ func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, require
 				}
 				if a.Kind == chaos.KindSetHost && a.Host.EgressBudget > 0 {
 					sawEgress = true
+				}
+				if a.Note == "degrade squeeze" {
+					sawDegrade = true
 				}
 			}
 
@@ -160,6 +169,23 @@ func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, require
 		})
 	}
 
+	if cfg.Harsh {
+		// The harsh vocabulary's own coverage + parity demands: the
+		// composite degradation incident must appear in the sweep, and
+		// its squeeze is tight enough (half to one KB of queue against a
+		// 4-8 KB/s budget) that both the congestion ledger and the
+		// overflow-drop ledger must fire on both substrates.
+		if !sawDegrade {
+			t.Error("no harsh schedule included a composite degradation incident")
+		}
+		if sim.Congested == 0 || udp.Congested == 0 {
+			t.Errorf("harsh squeezes never congested (sim=%d udp=%d queued packets)", sim.Congested, udp.Congested)
+		}
+		if sim.CollapseDropped == 0 || udp.CollapseDropped == 0 {
+			t.Errorf("harsh squeezes never overflowed the egress queue (sim=%d udp=%d dropped frames)",
+				sim.CollapseDropped, udp.CollapseDropped)
+		}
+	}
 	if !requireCoverage {
 		return
 	}
@@ -187,11 +213,6 @@ func runDifferentialSweep(t *testing.T, seeds int, cfg chaos.SoakConfig, require
 	if sim.Congested == 0 || udp.Congested == 0 {
 		t.Errorf("egress budget never congested (sim=%d udp=%d queued packets)", sim.Congested, udp.Congested)
 	}
-	// CollapseDropped is deliberately not parity-checked: the polite
-	// squeeze parameters make queue overflow rare enough that whether a
-	// particular sweep crosses the bound is a timing accident on the
-	// UDP side. The drop policy itself is pinned by the shared-math unit
-	// tests and the sim-only congestion regression.
 }
 
 // TestDifferentialConformance is the polite-generator sweep, with the
@@ -204,11 +225,13 @@ func TestDifferentialConformance(t *testing.T) {
 }
 
 // TestDifferentialConformanceHarsh sweeps hostile schedules —
-// multi-way partitions, crashes landing mid-partition, flap storms —
-// over the primary-partition stack on both fabrics. Coverage checks
-// are left to the polite sweep: the harsh generator spends its
-// incident budget on partitions and crashes, so a short sweep may
-// legitimately never cap bandwidth.
+// multi-way partitions, crashes landing mid-partition, composite
+// degradation squeezes — over the primary-partition stack on both
+// fabrics. The polite vocabulary's coverage checks are left to the
+// polite sweep (the harsh generator spends most of its incident budget
+// on partitions and crashes), but the harsh sweep carries its own
+// parity demand: the degradation squeezes must drive both the
+// congestion and the overflow-drop ledgers on both substrates.
 func TestDifferentialConformanceHarsh(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential suite runs the UDP side at wall-clock speed")

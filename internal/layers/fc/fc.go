@@ -32,8 +32,18 @@ type Fc struct {
 	core.Base
 	window int
 
-	view    *core.View
-	sent    uint64                     // multicasts sent
+	view *core.View
+	sent uint64 // multicasts sent (total, for diagnostics)
+	// sentTo counts the casts actually addressed to each receiver —
+	// the sender-side frame of the credit protocol. It is per receiver,
+	// not global: a cast launched while a member was out of the view
+	// never reaches that member's stream, so it must not count against
+	// the window the member grants. Both sides drop a departed member's
+	// state on a view change (applyView), so after a re-admission the
+	// frames restart at zero in lockstep instead of drifting by the
+	// casts the member missed — the drift that used to wedge the
+	// window permanently (grants forever below the raised credit).
+	sentTo  map[core.EndpointID]uint64
 	credit  map[core.EndpointID]uint64 // cumulative window end granted by each receiver
 	queue   []*core.Event              // casts awaiting credit
 	recvd   map[core.EndpointID]uint64 // multicasts received per sender
@@ -72,6 +82,7 @@ func (f *Fc) Init(c *core.Context) error {
 	if f.window < 1 {
 		return fmt.Errorf("fc: window %d < 1", f.window)
 	}
+	f.sentTo = make(map[core.EndpointID]uint64)
 	f.credit = make(map[core.EndpointID]uint64)
 	f.recvd = make(map[core.EndpointID]uint64)
 	f.granted = make(map[core.EndpointID]uint64)
@@ -111,6 +122,13 @@ func (f *Fc) drain() bool {
 		ev := f.queue[0]
 		f.queue = f.queue[1:]
 		f.sent++
+		if f.view != nil {
+			for _, m := range f.view.Members {
+				if m != f.Ctx.Self() {
+					f.sentTo[m]++
+				}
+			}
+		}
 		ev.Msg.PushUint8(kData)
 		f.Ctx.Down(ev)
 	}
@@ -127,7 +145,7 @@ func (f *Fc) mayLaunch() bool {
 		if m == f.Ctx.Self() {
 			continue
 		}
-		if f.sent >= f.credit[m] {
+		if f.sentTo[m] >= f.credit[m] {
 			return false
 		}
 	}
@@ -185,18 +203,42 @@ func (f *Fc) maybeGrant(sender core.EndpointID) {
 
 // applyView resets windows for the new membership: every member
 // restarts with one full window toward every other (the view change
-// is a synchronization point).
+// is a synchronization point), members no longer in the view lose
+// their credit and grant state entirely, and the blocked-cast queue
+// is re-evaluated. Dropping a removed member's state matters twice
+// over: casts stalled on a failed receiver's exhausted credit drain
+// instead of wedging, and a stale generous grant cannot bypass flow
+// control (or permanently wedge the window, see sentTo) if the member
+// is later re-admitted under the same identity.
 func (f *Fc) applyView(ev *core.Event) {
 	if ev.View == nil {
 		return
 	}
 	f.view = ev.View
+	alive := make(map[core.EndpointID]bool, len(f.view.Members))
 	for _, m := range f.view.Members {
-		if f.credit[m] < f.sent+uint64(f.window) {
-			f.credit[m] = f.sent + uint64(f.window)
+		alive[m] = true
+		if f.credit[m] < f.sentTo[m]+uint64(f.window) {
+			f.credit[m] = f.sentTo[m] + uint64(f.window)
 		}
 		if f.granted[m] < f.recvd[m]+uint64(f.window) {
 			f.granted[m] = f.recvd[m] + uint64(f.window)
+		}
+	}
+	for m := range f.credit {
+		if !alive[m] {
+			delete(f.credit, m)
+			delete(f.sentTo, m)
+		}
+	}
+	for m := range f.recvd {
+		if !alive[m] {
+			delete(f.recvd, m)
+		}
+	}
+	for m := range f.granted {
+		if !alive[m] {
+			delete(f.granted, m)
 		}
 	}
 	f.drain()

@@ -90,6 +90,112 @@ func TestViewChangeReopensWindow(t *testing.T) {
 	}
 }
 
+// grant injects a kCredit message from the given member with the given
+// cumulative window end.
+func grant(h *layertest.Harness, from core.EndpointID, end uint64) {
+	m := message.New(nil)
+	m.PushUint64(end)
+	m.PushUint8(3) // kCredit
+	h.InjectUp(&core.Event{Type: core.USend, Msg: m, Source: from})
+}
+
+// A member that leaves the view must take its credit state with it: a
+// generous grant collected before the removal used to survive the
+// round trip and let a re-admitted member's window be bypassed
+// entirely.
+func TestRemovalDropsStaleCredit(t *testing.T) {
+	h, layer, peer := window4(t)
+	// The peer is feeling generous, then crashes out of the view.
+	grant(h, peer, 1000)
+	h.InstallView(h.Self())
+	// It comes back under the same identity: the old grant is from a
+	// stream that no longer exists and must be gone.
+	h.InstallView(h.Self(), peer)
+	for i := 0; i < 10; i++ {
+		h.InjectDown(core.NewCast(message.New([]byte{byte(i)})))
+	}
+	if got := len(h.DownOfType(core.DCast)); got != 4 {
+		t.Fatalf("%d casts launched after re-admission, want 4 (fresh window)", got)
+	}
+	if layer.QueueLen() != 6 {
+		t.Fatalf("queued = %d, want 6", layer.QueueLen())
+	}
+}
+
+// Casts stalled on a failed receiver's exhausted credit must drain as
+// soon as a view change removes that receiver, instead of wedging
+// behind a member that will never grant again.
+func TestRemovalReleasesBlockedQueue(t *testing.T) {
+	h := layertest.New(t, fc.NewWithWindow(4))
+	b := layertest.ID("b", 2)
+	c := layertest.ID("c", 3)
+	h.InstallView(h.Self(), b, c)
+	layer := h.G.Focus("FC").(*fc.Fc)
+	for i := 0; i < 10; i++ {
+		h.InjectDown(core.NewCast(message.New([]byte{byte(i)})))
+	}
+	if got := len(h.DownOfType(core.DCast)); got != 4 {
+		t.Fatalf("%d casts launched with window 4, want 4", got)
+	}
+	// c keeps granting; b has gone silent. The queue stays blocked on b.
+	grant(h, c, 12)
+	if got := len(h.DownOfType(core.DCast)); got != 4 {
+		t.Fatalf("%d casts launched while still blocked on b, want 4", got)
+	}
+	// Membership expels b: the queue must re-evaluate and drain under
+	// c's credit alone.
+	h.InstallView(h.Self(), c)
+	if got := len(h.DownOfType(core.DCast)); got != 10 {
+		t.Fatalf("%d casts launched after b was removed, want 10", got)
+	}
+	if layer.QueueLen() != 0 {
+		t.Fatalf("queue not re-evaluated on removal: %d left", layer.QueueLen())
+	}
+}
+
+// A remove/re-add cycle must leave both sides of the credit protocol
+// in the same frame. With the old global sent counter, casts launched
+// while the member was away advanced the sender's frame but not the
+// receiver's, so every later grant fell short of the raised credit and
+// the window wedged permanently.
+func TestRemovedThenReaddedMemberDoesNotWedge(t *testing.T) {
+	h, layer, peer := window4(t)
+	h.InjectDown(core.NewCast(message.New([]byte{0})))
+	h.InjectDown(core.NewCast(message.New([]byte{1})))
+	// The peer drops out; five casts go to the remaining singleton view
+	// and never touch the peer's stream.
+	h.InstallView(h.Self())
+	for i := 2; i < 7; i++ {
+		h.InjectDown(core.NewCast(message.New([]byte{byte(i)})))
+	}
+	if got := len(h.DownOfType(core.DCast)); got != 7 {
+		t.Fatalf("%d casts launched in singleton view, want 7", got)
+	}
+	// Re-admission: both frames restart at zero, one full window opens.
+	h.InstallView(h.Self(), peer)
+	for i := 7; i < 17; i++ {
+		h.InjectDown(core.NewCast(message.New([]byte{byte(i)})))
+	}
+	if got := len(h.DownOfType(core.DCast)); got != 11 {
+		t.Fatalf("%d casts launched after re-admission, want 11 (one window more)", got)
+	}
+	// The re-added peer grants from its fresh frame: having delivered 4,
+	// it grants a cumulative end of 8, then 12. Each grant must be
+	// accepted and open the window further — this is exactly the grant
+	// sequence the old code rejected as "stale".
+	grant(h, peer, 8)
+	if got := len(h.DownOfType(core.DCast)); got != 15 {
+		t.Fatalf("%d casts after fresh-frame grant to 8, want 15", got)
+	}
+	grant(h, peer, 12)
+	if got := len(h.DownOfType(core.DCast)); got != 17 {
+		t.Fatalf("%d casts after fresh-frame grant to 12, want 17", got)
+	}
+	if layer.QueueLen() != 0 {
+		t.Fatalf("window wedged: %d casts still queued", layer.QueueLen())
+	}
+}
+
 func TestDeliveryPassesUp(t *testing.T) {
 	h, _, peer := window4(t)
 	m := message.New([]byte("body"))

@@ -110,6 +110,42 @@ func WithReporter(fn func(observer, suspect core.EndpointID)) Option {
 // verdicts only through the service fed by WithReporter.
 func WithoutProblemUpcalls() Option { return func(h *Hbeat) { h.noUpcalls = true } }
 
+// WithSuspectUpcalls turns on graded SUSPECT upcalls: whenever a
+// peer's φ crosses one of the given ascending thresholds (bands), the
+// layer emits one USuspect carrying the peer and its current φ. The
+// contract (see DESIGN.md):
+//
+//   - Emission happens only in the periodic sweep, so a peer produces
+//     at most one SUSPECT per heartbeat period (the rate limit).
+//   - Within a band the signal is monotone: no re-emission until the
+//     band changes.
+//   - Band entry is immediate once silence clears the MinTimeout
+//     floor; band exit is hysteretic — φ must fall clearly below the
+//     current band's threshold (suspectHysteresis) before one
+//     retraction USuspect carries the lower φ. A peer that speaks
+//     again therefore produces exactly one retraction at the next
+//     sweep, not a flap per sweep.
+//
+// Called without thresholds it uses DefaultSuspectBands.
+func WithSuspectUpcalls(bands ...float64) Option {
+	return func(h *Hbeat) {
+		if len(bands) == 0 {
+			bands = DefaultSuspectBands
+		}
+		h.suspectBands = append([]float64(nil), bands...)
+	}
+}
+
+// DefaultSuspectBands are the φ thresholds used by WithSuspectUpcalls
+// when none are given: φ=1 is a 10% chance the peer is still alive
+// under the arrival model, each next band a tenfold less likely one.
+var DefaultSuspectBands = []float64{1, 2, 4, 8}
+
+// suspectHysteresis scales a band's threshold for the exit test: φ
+// must fall below threshold×this before the band is left. It keeps a
+// φ hovering at a threshold from emitting a SUSPECT flap every sweep.
+const suspectHysteresis = 0.8
+
 // New returns an HBEAT layer with default configuration.
 func New() core.Layer { return newHbeat() }
 
@@ -135,6 +171,7 @@ type peerState struct {
 	dev       float64       // EWMA of |sample - mean|, in seconds
 	samples   int
 	suspected bool
+	band      int // number of suspect thresholds currently crossed
 }
 
 // Hbeat is one HBEAT layer instance.
@@ -148,7 +185,8 @@ type Hbeat struct {
 	k            float64
 	minTimeout   time.Duration
 	maxTimeout   time.Duration
-	phiThreshold float64 // 0 = binary adaptive timeout
+	phiThreshold float64   // 0 = binary adaptive timeout
+	suspectBands []float64 // nil = no SUSPECT upcalls
 	reporter     func(observer, suspect core.EndpointID)
 	noUpcalls    bool
 
@@ -163,6 +201,8 @@ type Stats struct {
 	BeatsReceived int
 	Suspicions    int // PROBLEM upcalls / reports emitted
 	Rearmed       int // suspects that spoke again and were re-armed
+	Suspects      int // SUSPECT upcalls for band rises
+	Retractions   int // SUSPECT upcalls for band falls
 }
 
 // Name implements core.Layer.
@@ -401,7 +441,13 @@ func (h *Hbeat) tick() {
 			continue
 		}
 		p := h.peers[e]
-		if p == nil || p.suspected {
+		if p == nil {
+			continue
+		}
+		if h.suspectBands != nil {
+			h.sweepSuspect(e, p, now)
+		}
+		if p.suspected {
 			continue
 		}
 		if silence := now - p.last; h.suspicious(p, silence) {
@@ -416,6 +462,34 @@ func (h *Hbeat) tick() {
 				h.Ctx.Up(&core.Event{Type: core.UProblem, Source: e})
 			}
 		}
+	}
+}
+
+// sweepSuspect applies the banded SUSPECT rule to one peer: compare
+// its current φ against the configured thresholds and emit one
+// USuspect when the band changes — immediately on a rise (past the
+// MinTimeout grace), hysteretically on a fall. Runs once per tick per
+// peer, which is the emission rate limit.
+func (h *Hbeat) sweepSuspect(e core.EndpointID, p *peerState, now time.Duration) {
+	silence := now - p.last
+	phi := phiOf(p, silence)
+	raw := 0
+	for _, b := range h.suspectBands {
+		if phi >= b {
+			raw++
+		}
+	}
+	switch {
+	case raw > p.band && silence > h.minTimeout:
+		p.band = raw
+		h.stats.Suspects++
+		h.Ctx.Tracef("hbeat %s: suspect %s φ=%.2f (band %d)", h.Ctx.Self(), e, phi, raw)
+		h.Ctx.Up(&core.Event{Type: core.USuspect, Source: e, Phi: phi})
+	case raw < p.band && phi < suspectHysteresis*h.suspectBands[p.band-1]:
+		p.band = raw
+		h.stats.Retractions++
+		h.Ctx.Tracef("hbeat %s: retract %s φ=%.2f (band %d)", h.Ctx.Self(), e, phi, raw)
+		h.Ctx.Up(&core.Event{Type: core.USuspect, Source: e, Phi: phi})
 	}
 }
 

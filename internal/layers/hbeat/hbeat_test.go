@@ -295,3 +295,52 @@ func TestPhiRespectsFloorAndCeiling(t *testing.T) {
 		t.Fatalf("ceiling did not fire under an unreachable threshold: %d PROBLEMs, want 1", n)
 	}
 }
+
+func TestSuspectUpcallsBandRateLimitAndRetraction(t *testing.T) {
+	h := harness(t, hbeat.WithSuspectUpcalls())
+	peer := layertest.ID("peer", 1)
+	h.InstallView(h.Self(), peer)
+	for i := 0; i < 10; i++ {
+		h.Run(period)
+		beat(h, peer)
+	}
+	if got := len(h.UpOfType(core.USuspect)); got != 0 {
+		t.Fatalf("%d SUSPECT upcalls while the peer is healthy, want 0", got)
+	}
+
+	// Total silence: φ grows, bands cross.
+	h.Run(20 * period)
+	sus := h.UpOfType(core.USuspect)
+	if len(sus) == 0 {
+		t.Fatal("no SUSPECT upcall after long silence")
+	}
+	if len(sus) > len(hbeat.DefaultSuspectBands) {
+		t.Fatalf("%d SUSPECT upcalls for one silence, want at most one per band", len(sus))
+	}
+	for i, ev := range sus {
+		if ev.Source != peer {
+			t.Fatalf("SUSPECT subject = %v, want %v", ev.Source, peer)
+		}
+		if i > 0 && ev.Phi < sus[i-1].Phi {
+			t.Fatalf("φ not monotone within one silence: %v then %v", sus[i-1].Phi, ev.Phi)
+		}
+	}
+
+	// Monotone within a band: further silence emits nothing new.
+	n := len(sus)
+	h.Run(20 * period)
+	if got := len(h.UpOfType(core.USuspect)); got != n {
+		t.Fatalf("re-emission within a band: %d upcalls grew to %d", n, got)
+	}
+
+	// The peer speaks again: exactly one retraction, carrying the lower φ.
+	beat(h, peer)
+	h.Run(3 * period)
+	sus = h.UpOfType(core.USuspect)
+	if len(sus) != n+1 {
+		t.Fatalf("upcalls after the peer spoke = %d, want %d (one retraction)", len(sus), n+1)
+	}
+	if last := sus[len(sus)-1]; last.Phi >= sus[n-1].Phi {
+		t.Fatalf("retraction φ %v not below the suspect φ %v", last.Phi, sus[n-1].Phi)
+	}
+}

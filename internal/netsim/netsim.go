@@ -116,8 +116,13 @@ type Network struct {
 	held       map[pair][]*heldPacket  // directed link reorder holds
 	hosts      map[core.EndpointID]Host
 	egressFree map[core.EndpointID]time.Duration // per-host egress busy-until
-	nextBirth  uint64
-	stats      Stats
+	// Per-host slices of the egress ledger, feeding the
+	// core.CongestionReporter hook; the global Stats counters remain
+	// the sum over hosts.
+	egressCongested map[core.EndpointID]uint64
+	egressDropped   map[core.EndpointID]uint64
+	nextBirth       uint64
+	stats           Stats
 }
 
 // heldPacket is one packet parked by the reorder rule, waiting for
@@ -142,9 +147,11 @@ func New(cfg Config) *Network {
 		partition:  make(map[core.EndpointID]int),
 		linkFree:   make(map[pair]time.Duration),
 		held:       make(map[pair][]*heldPacket),
-		hosts:      make(map[core.EndpointID]Host),
-		egressFree: make(map[core.EndpointID]time.Duration),
-		nextBirth:  1,
+		hosts:           make(map[core.EndpointID]Host),
+		egressFree:      make(map[core.EndpointID]time.Duration),
+		egressCongested: make(map[core.EndpointID]uint64),
+		egressDropped:   make(map[core.EndpointID]uint64),
+		nextBirth:       1,
 	}
 }
 
@@ -282,6 +289,8 @@ func (n *Network) Detach(id core.EndpointID) {
 	}
 	delete(n.hosts, id)
 	delete(n.egressFree, id)
+	delete(n.egressCongested, id)
+	delete(n.egressDropped, id)
 }
 
 // Crashed reports whether the endpoint has been crashed.
@@ -316,6 +325,21 @@ func (n *Network) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.stats
+}
+
+// EgressFeedback snapshots the egress ledger for one sending host,
+// implementing core.CongestionReporter: the backlog currently queued
+// behind the host's token bucket plus the cumulative congestion
+// counters charged to that host. Counters survive SetHost/ClearHost
+// (they are history, not configuration) and reset only on Detach.
+func (n *Network) EgressFeedback(id core.EndpointID) core.EgressFeedback {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return core.EgressFeedback{
+		BacklogBytes:    BucketBacklog(n.now, n.egressFree[id], n.hosts[id].EgressBudget),
+		Congested:       n.egressCongested[id],
+		CollapseDropped: n.egressDropped[id],
+	}
 }
 
 // Now returns the current virtual time. Part of core.Transport.
@@ -396,9 +420,11 @@ func (n *Network) transmitLocked(from core.EndpointID, group core.GroupAddr, dst
 	switch out {
 	case EgressDropped:
 		n.stats.CollapseDropped++
+		n.egressDropped[from]++
 		return
 	case EgressQueued:
 		n.stats.Congested++
+		n.egressCongested[from]++
 		n.egressFree[from] = newFree
 	case EgressGranted:
 		n.egressFree[from] = newFree

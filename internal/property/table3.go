@@ -65,6 +65,14 @@ var Table3 = []LayerSpec{
 	{Name: "CRYPT", Requires: P1, Provides: 0, Inherits: All, Cost: 3},
 	{Name: "COMPRESS", Requires: P1, Provides: 0, Inherits: All, Cost: 2},
 	{Name: "FC", Requires: P3 | P4 | P11, Provides: 0, Inherits: reliable, Cost: 1},
+	// ADAPT regulates application traffic on graded suspicion and the
+	// fabric's egress ledger (see package adapt). Like FC it needs
+	// reliable FIFO multicast beneath it — pacing and shedding are only
+	// meaningful when what it admits is actually delivered — and adds
+	// no property of its own: a shed cast is announced as a
+	// LOST_MESSAGE, so the delivery contract of the stack beneath is
+	// preserved for everything admitted.
+	{Name: "ADAPT", Requires: P3 | P4 | P11, Provides: 0, Inherits: reliable, Cost: 1},
 	{Name: "GKEY", Requires: P9 | P15, Provides: 0, Inherits: reliable, Cost: 3},
 	{Name: "TRACE", Requires: 0, Provides: 0, Inherits: All, Cost: 1},
 	{Name: "ACCOUNT", Requires: 0, Provides: 0, Inherits: All, Cost: 1},

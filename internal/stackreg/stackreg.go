@@ -11,6 +11,7 @@ import (
 
 	"horus/internal/core"
 	"horus/internal/layers/account"
+	"horus/internal/layers/adapt"
 	"horus/internal/layers/bms"
 	"horus/internal/layers/causal"
 	"horus/internal/layers/chksum"
@@ -50,6 +51,7 @@ var demoKey = []byte("horus-demo-key-0123456789abcdef!")[:32]
 func Registry() map[string]core.Factory {
 	store := mlog.NewMemStore()
 	return map[string]core.Factory{
+		"ADAPT":    adapt.New,
 		"COM":      com.New,
 		"NAK":      nak.New,
 		"NNAK":     nnak.New,

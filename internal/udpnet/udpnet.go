@@ -70,6 +70,7 @@ type Transport struct {
 	start     time.Time
 	stats     Stats
 	onSendErr func(dest core.EndpointID, err error)
+	feedback  func() core.EgressFeedback
 }
 
 // Listen opens a UDP socket for an endpoint with the given identity.
@@ -125,6 +126,34 @@ func (t *Transport) SetSendErrorHook(fn func(dest core.EndpointID, err error)) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.onSendErr = fn
+}
+
+// SetEgressFeedback registers the source for this endpoint's egress
+// congestion ledger, making the transport a core.CongestionReporter.
+// The kernel gives a bare UDP socket no backpressure ledger of its
+// own, so a metering proxy (chaosnet) installs a closure over its
+// per-host counters here — the same feedback vocabulary the simulator
+// serves natively. The closure must be safe to call from the
+// endpoint's event loop.
+func (t *Transport) SetEgressFeedback(fn func() core.EgressFeedback) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.feedback = fn
+}
+
+// EgressFeedback implements core.CongestionReporter. A transport
+// serves exactly one endpoint, so the id is ignored. Without an
+// installed feedback source it reports a zero ledger (callers reach
+// this only through the installed hook; Context.EgressFeedback sees
+// the interface as implemented either way).
+func (t *Transport) EgressFeedback(core.EndpointID) core.EgressFeedback {
+	t.mu.Lock()
+	fn := t.feedback
+	t.mu.Unlock()
+	if fn == nil {
+		return core.EgressFeedback{}
+	}
+	return fn()
 }
 
 // Stats returns a snapshot of the transport's error counters.
