@@ -16,9 +16,9 @@ import (
 	"testing"
 	"time"
 
+	"horus/internal/benchkit"
 	"horus/internal/core"
 	"horus/internal/layers/com"
-	"horus/internal/layers/frag"
 	"horus/internal/layers/nak"
 	"horus/internal/message"
 	"horus/internal/netsim"
@@ -27,55 +27,21 @@ import (
 	"horus/internal/stackreg"
 )
 
-// nopLayer passes everything through: the cheapest possible layer,
-// isolating the cost of one boundary crossing (§10 item 1: "an
-// indirect procedure call each time a layer boundary is crossed").
-type nopLayer struct{ core.Base }
-
-func (n *nopLayer) Name() string { return "NOP" }
-
-// sinkLayer terminates the stack without a network.
-type sinkLayer struct {
-	core.Base
-	count int
-}
-
-func (s *sinkLayer) Name() string { return "SINK" }
-func (s *sinkLayer) Down(ev *core.Event) {
-	s.count++
-}
+// The shared benchmark bodies — layer crossing, FRAG costs, the
+// SWITCH quiesce pause — live in internal/benchkit so cmd/horus-bench
+// -json measures exactly this code; nopLayer/sinkLayer ride along as
+// benchkit.NopLayer/SinkLayer.
+type (
+	nopLayer  = benchkit.NopLayer
+	sinkLayer = benchkit.SinkLayer
+)
 
 // BenchmarkLayerCrossing measures the cost of pushing a cast through k
 // no-op layers — the paper's claim that "the cost of a layer can be as
 // low as just a few instructions at runtime".
 func BenchmarkLayerCrossing(b *testing.B) {
-	for _, depth := range []int{0, 1, 2, 4, 8, 16, 32} {
-		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			net := netsim.New(netsim.Config{Seed: 1})
-			ep := net.NewEndpoint("a")
-			spec := make(core.StackSpec, 0, depth+1)
-			for i := 0; i < depth; i++ {
-				spec = append(spec, func() core.Layer { return &nopLayer{} })
-			}
-			sink := &sinkLayer{}
-			spec = append(spec, func() core.Layer { return sink })
-			g, err := ep.Join("bench", spec, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			msg := message.New(make([]byte, 64))
-			ev := core.NewCast(msg)
-			b.ReportAllocs()
-			b.ResetTimer()
-			ep.Do(func() {
-				for i := 0; i < b.N; i++ {
-					g.Stack().Down(ev)
-				}
-			})
-			if sink.count != b.N {
-				b.Fatalf("sink saw %d of %d", sink.count, b.N)
-			}
-		})
+	for _, depth := range benchkit.LayerCrossingDepths {
+		b.Run(fmt.Sprintf("depth=%d", depth), benchkit.LayerCrossing(depth))
 	}
 }
 
@@ -86,35 +52,13 @@ func BenchmarkLayerCrossing(b *testing.B) {
 // trip every message pays; modern hardware shrinks the constant, the
 // shape (a per-message copy proportional to size) remains.
 func BenchmarkFragOverhead(b *testing.B) {
-	for _, size := range []int{64, 1024, 8192, 65536} {
+	for _, size := range benchkit.FragOverheadSizes {
 		for _, withFrag := range []bool{false, true} {
 			label := "nofrag"
 			if withFrag {
 				label = "frag"
 			}
-			b.Run(fmt.Sprintf("size=%d/%s", size, label), func(b *testing.B) {
-				net := netsim.New(netsim.Config{Seed: 1})
-				ep := net.NewEndpoint("a")
-				sink := &sinkLayer{}
-				spec := core.StackSpec{}
-				if withFrag {
-					spec = append(spec, frag.NewWithSize(1400))
-				}
-				spec = append(spec, func() core.Layer { return sink })
-				g, err := ep.Join("bench", spec, nil)
-				if err != nil {
-					b.Fatal(err)
-				}
-				body := make([]byte, size)
-				b.SetBytes(int64(size))
-				b.ReportAllocs()
-				b.ResetTimer()
-				ep.Do(func() {
-					for i := 0; i < b.N; i++ {
-						g.Stack().Down(core.NewCast(message.New(body)))
-					}
-				})
-			})
+			b.Run(fmt.Sprintf("size=%d/%s", size, label), benchkit.FragOverhead(size, withFrag))
 		}
 	}
 }
@@ -122,69 +66,18 @@ func BenchmarkFragOverhead(b *testing.B) {
 // BenchmarkFragRoundTrip measures the full split+reassemble path, the
 // closest analogue of the paper's one-way latency number.
 func BenchmarkFragRoundTrip(b *testing.B) {
-	for _, size := range []int{1024, 8192, 65536} {
-		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
-			net := netsim.New(netsim.Config{Seed: 1})
-			ep := net.NewEndpoint("a")
-			// Loopback: what FRAG sends down is fed back up.
-			var g *core.Group
-			delivered := 0
-			loop := &loopLayer{}
-			spec := core.StackSpec{
-				func() core.Layer { return &countLayer{count: &delivered} },
-				frag.NewWithSize(1400),
-				func() core.Layer { return loop },
-			}
-			g, err := ep.Join("bench", spec, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			body := make([]byte, size)
-			b.SetBytes(int64(size))
-			b.ReportAllocs()
-			b.ResetTimer()
-			ep.Do(func() {
-				for i := 0; i < b.N; i++ {
-					g.Stack().Down(core.NewCast(message.New(body)))
-				}
-			})
-			if delivered != b.N {
-				b.Fatalf("delivered %d of %d", delivered, b.N)
-			}
-		})
+	for _, size := range benchkit.FragRoundTripSizes {
+		b.Run(fmt.Sprintf("size=%d", size), benchkit.FragRoundTrip(size))
 	}
 }
 
-// loopLayer reflects downcalls back up, as if the network delivered
-// them instantly.
-type loopLayer struct {
-	core.Base
-	src core.EndpointID
-}
-
-func (l *loopLayer) Name() string { return "LOOP" }
-func (l *loopLayer) Down(ev *core.Event) {
-	if ev.Type != core.DCast && ev.Type != core.DSend {
-		return
-	}
-	up := core.UCast
-	if ev.Type == core.DSend {
-		up = core.USend
-	}
-	l.Ctx.Up(&core.Event{Type: up, Msg: ev.Msg, Source: l.src})
-}
-
-// countLayer counts CAST deliveries reaching the top.
-type countLayer struct {
-	core.Base
-	count *int
-}
-
-func (c *countLayer) Name() string { return "COUNT" }
-func (c *countLayer) Up(ev *core.Event) {
-	if ev.Type == core.UCast {
-		*c.count++
-	}
+// BenchmarkSwitchQuiesce measures the delivery pause of a run-time
+// stack reconfiguration — last cast delivered before the flush-quiesce
+// drains the old segment to first cast after RESUME — under a
+// continuous workload on a 3-member group. The pause is virtual time,
+// reported as vpause-ns/op; see benchkit.SwitchQuiesce.
+func BenchmarkSwitchQuiesce(b *testing.B) {
+	b.Run("members=3", benchkit.SwitchQuiesce(3))
 }
 
 // BenchmarkHeaderPushPop measures the §10 item 3 costs: six layers

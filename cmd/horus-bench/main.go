@@ -8,18 +8,34 @@
 // Usage:
 //
 //	horus-bench [experiment...]
+//	horus-bench -json FILE
 //
 // with experiments: headers, stability, viewchange, loss, token, heal,
 // compress.
 // No arguments runs everything.
+//
+// -json FILE switches to the machine-readable mode: instead of the
+// virtual-time tables it runs the CPU-level benchmark bodies shared
+// with `go test -bench` (layer crossing, FRAG marshal latency, the
+// SWITCH quiesce pause) via testing.Benchmark and writes one JSON
+// document — ns/op, allocs/op, bytes/op and any custom metrics per
+// benchmark — to FILE ("-" for stdout). CI uses it to commit a
+// BENCH_<n>.json snapshot per PR, so the perf history is a tracked
+// trajectory instead of folklore.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"testing"
 	"time"
+
+	"horus/internal/benchkit"
 
 	"horus/internal/core"
 	"horus/internal/layers/com"
@@ -38,6 +54,15 @@ import (
 )
 
 func main() {
+	jsonOut := flag.String("json", "", "write machine-readable CPU benchmark results to this file (\"-\" for stdout) instead of running the experiment tables")
+	flag.Parse()
+	if *jsonOut != "" {
+		if err := emitJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "horus-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	all := map[string]func(){
 		"headers":    benchHeaders,
 		"stability":  benchStability,
@@ -48,7 +73,7 @@ func main() {
 		"compress":   benchCompress,
 	}
 	order := []string{"headers", "stability", "viewchange", "loss", "token", "heal", "compress"}
-	args := os.Args[1:]
+	args := flag.Args()
 	if len(args) == 0 {
 		args = order
 	}
@@ -562,4 +587,101 @@ func benchHeal() {
 		fmt.Printf("%4d %18v\n", n, worst.Round(time.Millisecond))
 	}
 	fmt.Println("(dominated by the beacon period plus two merge flushes)")
+}
+
+// benchRecord is one benchmark's measurements in the JSON snapshot.
+type benchRecord struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchSnapshot is the whole -json document. Environment fields are
+// recorded because ns/op is only comparable within a hardware class;
+// the committed history is a trajectory, not a gate by itself.
+type benchSnapshot struct {
+	Suite      string        `json:"suite"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// emitJSON runs the shared CPU benchmark bodies (internal/benchkit —
+// the same code `go test -bench` runs) under testing.Benchmark and
+// writes the snapshot to path.
+func emitJSON(path string) error {
+	type namedBench struct {
+		name string
+		fn   func(*testing.B)
+	}
+	var suite []namedBench
+	for _, depth := range benchkit.LayerCrossingDepths {
+		suite = append(suite, namedBench{
+			fmt.Sprintf("LayerCrossing/depth=%d", depth), benchkit.LayerCrossing(depth)})
+	}
+	for _, size := range benchkit.FragOverheadSizes {
+		for _, withFrag := range []bool{false, true} {
+			label := "nofrag"
+			if withFrag {
+				label = "frag"
+			}
+			suite = append(suite, namedBench{
+				fmt.Sprintf("FragOverhead/size=%d/%s", size, label),
+				benchkit.FragOverhead(size, withFrag)})
+		}
+	}
+	for _, size := range benchkit.FragRoundTripSizes {
+		suite = append(suite, namedBench{
+			fmt.Sprintf("FragRoundTrip/size=%d", size), benchkit.FragRoundTrip(size)})
+	}
+	suite = append(suite, namedBench{"SwitchQuiesce/members=3", benchkit.SwitchQuiesce(3)})
+
+	snap := benchSnapshot{
+		Suite:     "horus-bench",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, nb := range suite {
+		fmt.Fprintf(os.Stderr, "bench %s\n", nb.name)
+		r := testing.Benchmark(nb.fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s failed (zero iterations)", nb.name)
+		}
+		rec := benchRecord{
+			Name:        nb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.Bytes > 0 {
+			rec.MBPerS = (float64(r.Bytes) * float64(r.N) / 1e6) / r.T.Seconds()
+		}
+		if len(r.Extra) > 0 {
+			rec.Extra = map[string]float64{}
+			for k, v := range r.Extra {
+				rec.Extra[k] = v
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, rec)
+	}
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }

@@ -2,7 +2,8 @@
 // each seed it forms a cluster, generates a seeded fault schedule
 // (loss ramps, asymmetric links, flapping, crash/recover, rolling
 // partitions, bandwidth and egress squeezes, reorder bursts — plus
-// multi-way splits, anchor crashes, and majority loss with -harsh),
+// multi-way splits, anchor crashes, and majority loss with -harsh,
+// and run-time stack reconfiguration storms with -switch),
 // drives a continuous cast workload through it, and
 // then checks every virtual-synchrony invariant over everything every
 // incarnation observed.
@@ -43,6 +44,7 @@ func main() {
 		incidents = flag.Int("incidents", 7, "incidents per fault schedule")
 		transport = flag.String("transport", "sim", "transport substrate: sim (deterministic) or udp (real sockets)")
 		harsh     = flag.Bool("harsh", false, "hostile schedules: multi-way partitions, anchor crashes, majority loss; runs the primary-partition stack")
+		swStorm   = flag.Bool("switch", false, "switch storms: run the SWITCH reconfiguration stack and add run-time stack switches to the schedule")
 		degrade   = flag.Bool("degrade", false, "run the pinned graceful-degradation pair (ADAPT arm vs control arm) instead of the membership soak")
 		verbose   = flag.Bool("v", false, "print the fault schedule and per-seed detail")
 	)
@@ -75,7 +77,7 @@ func main() {
 		if *degrade {
 			ok = runDegrade(s, *transport)
 		} else {
-			ok = runSeed(s, *members, *horizon, *incidents, *transport, *harsh, *verbose)
+			ok = runSeed(s, *members, *horizon, *incidents, *transport, *harsh, *swStorm, *verbose)
 		}
 		if !ok {
 			failed++
@@ -152,8 +154,8 @@ func fatalf(format string, args ...interface{}) {
 	os.Exit(2)
 }
 
-func runSeed(seed int64, members int, horizon time.Duration, incidents int, transport string, harsh, verbose bool) bool {
-	cfg := chaos.SoakConfig{Members: members, Horizon: horizon, Incidents: incidents, Harsh: harsh}
+func runSeed(seed int64, members int, horizon time.Duration, incidents int, transport string, harsh, swStorm, verbose bool) bool {
+	cfg := chaos.SoakConfig{Members: members, Horizon: horizon, Incidents: incidents, Harsh: harsh, Switch: swStorm}
 	var udpFab *chaosnet.Fabric
 	if transport == "udp" {
 		// Wall-clock deadlines: the sim's defaults (6s form, 10s settle)
@@ -183,7 +185,7 @@ func runSeed(seed int64, members int, horizon time.Duration, incidents int, tran
 		// Same (seed, config) as RunSeed uses, so this prints exactly the
 		// schedule the run will execute.
 		sched := chaos.Generate(seed, chaos.GenConfig{
-			Members: members, Horizon: horizon, Incidents: incidents, Harsh: harsh,
+			Members: members, Horizon: horizon, Incidents: incidents, Harsh: harsh, Switch: swStorm,
 		})
 		fmt.Printf("== seed %d: schedule ==\n%s", seed, sched)
 	}
@@ -209,10 +211,31 @@ func runSeed(seed int64, members int, horizon time.Duration, incidents int, tran
 	if !ok {
 		status = "FAIL"
 	}
-	fmt.Printf("seed %-4d %s  (%v wall, %d incarnations)%s\n",
+	fmt.Printf("seed %-4d %s  (%v wall, %d incarnations)%s%s\n",
 		seed, status, time.Since(start).Round(time.Millisecond), incarnations(c),
-		netStats(udpFab))
+		switchStats(c, swStorm), netStats(udpFab))
 	return ok
+}
+
+// switchStats renders the per-seed SWITCH outcome counters for -switch
+// runs: how many reconfigurations committed (including gossip-driven
+// sync commits on members that missed the round) and how many aborted
+// back to the old stack.
+func switchStats(c *chaos.Cluster, swStorm bool) string {
+	if c == nil || !swStorm {
+		return ""
+	}
+	committed, aborted := 0, 0
+	for _, h := range c.Histories {
+		for _, s := range h.Switches {
+			if s.Committed {
+				committed++
+			} else {
+				aborted++
+			}
+		}
+	}
+	return fmt.Sprintf("  [switch commit=%d abort=%d]", committed, aborted)
 }
 
 // netStats renders the per-seed transport counters for UDP runs: the

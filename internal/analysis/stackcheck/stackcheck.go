@@ -47,9 +47,21 @@ type callSpec struct {
 	stackArg  int  // index of the stack argument
 	stackList bool // stack is []string rather than a string description
 	netArg    int  // index of the network Set argument, -1 if none
+
+	// segment marks SWITCH reconfiguration targets: the description
+	// names the segment above the fence, "" legally empties it, and
+	// well-formedness is derived over property.SegmentBase with the
+	// SWITCH row beneath — the static mirror of the run-time
+	// validation in switchp, so an ill-formed constant target is a
+	// finding here instead of a runtime abort. (The engine still
+	// re-derives over the *actual* below-fence layers, which may be
+	// richer or poorer than the canonical base.)
+	segment bool
 }
 
-// targets maps "importpath.Func" to its argument layout.
+// targets maps "importpath.Func" to its argument layout. Methods are
+// keyed the same way — the selector's *types.Func carries the
+// defining package.
 var targets = map[string]callSpec{
 	"horus/internal/stackreg.Build":     {stackArg: 0, netArg: 1},
 	"horus/internal/stackreg.MustBuild": {stackArg: 0, netArg: 1},
@@ -59,6 +71,12 @@ var targets = map[string]callSpec{
 	},
 	"horus/internal/property.ParseStack": {stackArg: 0, netArg: -1},
 	"horus/internal/property.StackCost":  {stackArg: 0, stackList: true, netArg: -1},
+	"horus/internal/layers/switchp.RequestSwitch": {
+		stackArg: 0, netArg: -1, segment: true,
+	},
+	"horus/internal/layers/switchp.WithInitialSegment": {
+		stackArg: 0, netArg: -1, segment: true,
+	},
 }
 
 func run(pass *analysis.Pass) error {
@@ -107,7 +125,11 @@ func checkCall(pass *analysis.Pass, file *ast.File, call *ast.CallExpr) {
 
 	pos := stackExpr.Pos()
 	if len(names) == 0 {
-		pass.Reportf(pos, "empty stack description %s passed to %s", display, fn.Name())
+		// An empty switch target is the documented way to strip the
+		// segment back to the base personality, not a mistake.
+		if !spec.segment {
+			pass.Reportf(pos, "empty stack description %s passed to %s", display, fn.Name())
+		}
 		return
 	}
 	for _, name := range names {
@@ -115,6 +137,15 @@ func checkCall(pass *analysis.Pass, file *ast.File, call *ast.CallExpr) {
 			pass.Reportf(pos, "stack %s names unknown layer %q (no Table 3 row)", display, name)
 			return
 		}
+	}
+
+	if spec.segment {
+		full := append(append([]string(nil), names...), "SWITCH")
+		if _, err := property.Derive(property.SegmentBase, full); err != nil {
+			pass.Reportf(pos, "ill-formed switch target %s over the segment base %v: %s",
+				display, property.SegmentBase, strings.TrimPrefix(err.Error(), "property: "))
+		}
+		return
 	}
 
 	if spec.netArg < 0 || len(call.Args) <= spec.netArg {

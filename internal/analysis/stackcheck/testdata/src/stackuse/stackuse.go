@@ -4,6 +4,7 @@
 package stackuse
 
 import (
+	"horus/internal/layers/switchp"
 	"horus/internal/property"
 	"horus/internal/stackreg"
 )
@@ -31,6 +32,25 @@ func flagged() {
 	_, _ = property.Derive(property.P1, []string{"total", "com"})      // want `unknown layer "total"`
 	_ = property.WellFormed(0, property.ParseStack("COM"))             // want `layer COM requires \{P1\}`
 	_, _ = property.StackCost([]string{"COM", "BOGUS"})                // want `unknown layer "BOGUS"`
+}
+
+// switchTargets feeds constant segment descriptions to the SWITCH
+// reconfiguration API: targets are derived over property.SegmentBase
+// with the SWITCH row beneath, so a segment smuggling a raw-network
+// layer above the fence is an analysis-time finding, not a runtime
+// abort.
+func switchTargets(sw *switchp.Switch) {
+	_ = sw.RequestSwitch("TOTAL")       // FIFO→TOTAL upgrade: well-formed over the base
+	_ = sw.RequestSwitch("ADAPT")       // load shedding over the base: also fine
+	_ = sw.RequestSwitch("")            // empties the segment: documented, legal
+	_ = sw.RequestSwitch(nonConstant()) // not resolvable: left to run time
+	_ = switchp.WithInitialSegment("ADAPT")
+
+	_ = sw.RequestSwitch("TOTAL:COM")          // want `ill-formed switch target "TOTAL:COM".*layer COM requires \{P1\}`
+	_ = sw.RequestSwitch("COMPRESS:TOTAL")     // want `ill-formed switch target "COMPRESS:TOTAL".*layer COMPRESS requires \{P1\}`
+	_ = sw.RequestSwitch("TOTAL:XCOM")         // want `unknown layer "XCOM"`
+	_ = switchp.WithInitialSegment("VSS")      // want `ill-formed switch target "VSS".*layer VSS requires \{P14\}`
+	_ = switchp.WithInitialSegment(sevenStack) // want `ill-formed switch target .*layer COM requires \{P1\}`
 }
 
 func suppressed() {

@@ -366,13 +366,15 @@ func TestGenerateHarshSelfCleaning(t *testing.T) {
 // polite class (loss ramps, asymmetric loss, flaps, crashes,
 // partitions, bandwidth squeezes, reorder bursts, egress squeezes)
 // and every harsh-only class (multi-way splits, anchor crashes,
-// majority loss, composite degradation). A renumbering or probability change that silently
-// starves one class out of the nightly sweep fails here, not months
-// later when the untested class regresses.
+// majority loss, composite degradation), plus the run-time
+// reconfiguration class (switch storms). A renumbering or probability
+// change that silently starves one class out of the nightly sweep
+// fails here, not months later when the untested class regresses.
 func TestHarshVocabularyCoverage(t *testing.T) {
-	// Mirror `horus-chaos -harsh -seeds 100` (the nightly harsh sweep):
-	// default members/horizon/incidents, harsh repertoire.
-	cfg := GenConfig{Members: 4, Horizon: 5 * time.Second, Incidents: 7, Harsh: true}
+	// Mirror `horus-chaos -harsh -switch -seeds 100` (the nightly harsh
+	// sweep): default members/horizon/incidents, harsh repertoire, the
+	// switch incident class armed.
+	cfg := GenConfig{Members: 4, Horizon: 5 * time.Second, Incidents: 7, Harsh: true, Switch: true}
 
 	// Each class is recognized by the Note its builder stamps, except
 	// the plain crash/recover pair, which carries no note and is
@@ -393,6 +395,7 @@ func TestHarshVocabularyCoverage(t *testing.T) {
 		{"anchor crash", func(a Action) bool { return a.Note == "anchor crash" }},
 		{"majority loss", func(a Action) bool { return strings.HasPrefix(a.Note, "majority loss") }},
 		{"composite degradation", func(a Action) bool { return a.Note == "degrade squeeze" }},
+		{"switch storm", func(a Action) bool { return a.Kind == KindSwitch && a.Note == "switch storm" }},
 	}
 
 	seen := make(map[string]int64) // class -> first seed that drew it

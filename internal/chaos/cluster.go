@@ -8,12 +8,17 @@ import (
 	"time"
 
 	"horus/internal/core"
+	"horus/internal/layers/adapt"
 	"horus/internal/layers/com"
+	"horus/internal/layers/compress"
 	"horus/internal/layers/hbeat"
 	"horus/internal/layers/mbrship"
 	"horus/internal/layers/nak"
+	"horus/internal/layers/switchp"
+	"horus/internal/layers/total"
 	"horus/internal/message"
 	"horus/internal/netsim"
+	"horus/internal/property"
 )
 
 // Config parameterizes a chaos cluster.
@@ -90,6 +95,56 @@ func PrimaryStack(members int) func() core.StackSpec {
 		)
 		return spec
 	}
+}
+
+// SwitchStack is DefaultStack with a SWITCH reconfiguration layer on
+// top: the segment starts empty (plain FIFO personality) and KindSwitch
+// actions upgrade, downgrade, or reshape it at run time. The resolver
+// offers the same chaos-tuned layer recipes a static stack would use,
+// so a reconfigured TOTAL retries its sequencer requests fast enough
+// to make progress between faults. Deadlines are sized to the sim
+// fabric's default link; on real UDP they still hold because quiesce
+// normally completes in a round trip or two.
+func SwitchStack() core.StackSpec {
+	return switchOver(DefaultStack())
+}
+
+// PrimarySwitchStack is SWITCH over PrimaryStack: the harsh soak's
+// primary-partition base with run-time reconfiguration on top. Without
+// the primary flag a harsh multi-way split lets both sides keep
+// delivering independently, which no layer above membership can
+// repair; switch storms on harsh schedules must therefore ride the
+// primary base.
+func PrimarySwitchStack(members int) func() core.StackSpec {
+	return func() core.StackSpec {
+		return switchOver(PrimaryStack(members)())
+	}
+}
+
+// switchOver prepends the chaos-tuned SWITCH layer to a base stack.
+func switchOver(spec core.StackSpec) core.StackSpec {
+	resolver := func(name string) (core.Factory, bool) {
+		switch name {
+		case "TOTAL":
+			return total.NewWith(total.WithRequestRetry(60 * time.Millisecond)), true
+		case "COMPRESS":
+			return compress.New, true
+		case "ADAPT":
+			return adapt.New, true
+		}
+		return nil, false
+	}
+	return append(core.StackSpec{
+		// The chaos base is hand-tuned off the Table 3 grid (no FRAG),
+		// so SWITCH validates targets against the declared base
+		// properties instead of re-deriving the below layers.
+		switchp.NewWith(
+			switchp.WithResolver(resolver),
+			switchp.WithOpaqueBase(property.SegmentBase),
+			switchp.WithQuiesceDeadline(500*time.Millisecond),
+			switchp.WithReadyDeadline(500*time.Millisecond),
+		),
+	}, spec...)
 }
 
 // member is one slot's current incarnation.
@@ -365,6 +420,19 @@ func (c *Cluster) apply(a Action) {
 		c.fab.Partition(groups...)
 	case KindHeal:
 		c.fab.Heal()
+	case KindSwitch:
+		m := c.members[a.A]
+		if m.down {
+			return
+		}
+		sw, ok := m.g.Focus("SWITCH").(*switchp.Switch)
+		if !ok {
+			return // stack has no SWITCH layer; the action is a no-op
+		}
+		target := a.Target
+		// Refusals (no view yet, switch already pending, bad target)
+		// are part of the storm: the next action tries again elsewhere.
+		m.ep.Do(func() { _ = sw.RequestSwitch(target) })
 	}
 }
 
@@ -426,8 +494,25 @@ func (c *Cluster) Digest() string {
 				continue
 			}
 			fmt.Fprintf(&b, " %d:%s", d.View.Seq, d.Payload)
+			// Epoch tags appear only past the first commit, so digests of
+			// runs without SWITCH activity are unchanged.
+			if d.Epoch > 0 {
+				fmt.Fprintf(&b, "@e%d", d.Epoch)
+			}
 		}
-		b.WriteString(" ]\n")
+		b.WriteString(" ]")
+		if len(h.Switches) > 0 {
+			b.WriteString(" switches=[")
+			for _, s := range h.Switches {
+				if s.Committed {
+					fmt.Fprintf(&b, " %d:commit:e%d:%q", s.View.Seq, s.Epoch, s.Detail)
+				} else {
+					fmt.Fprintf(&b, " %d:abort:e%d", s.View.Seq, s.Epoch)
+				}
+			}
+			b.WriteString(" ]")
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

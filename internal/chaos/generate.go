@@ -14,6 +14,13 @@ type GenConfig struct {
 	Horizon   time.Duration // all incidents start and finish inside [0, Horizon)
 	Incidents int           // how many incidents to attempt to place
 	Harsh     bool          // enable the hostile incident classes (see Generate)
+
+	// Switch adds the run-time reconfiguration incident class: random
+	// members request SWITCH upgrades/downgrades mid-chaos. Requires a
+	// stack with a SWITCH layer (see SwitchStack); on any other stack
+	// the actions are no-ops. Off by default so the schedules of all
+	// pre-existing (seed, cfg) pairs are unchanged.
+	Switch bool
 }
 
 // Generate builds a random fault schedule from a seed. The same
@@ -67,10 +74,30 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 	if cfg.Harsh {
 		kinds = 12
 	}
+	// The switch class is appended after every other kind and peeled off
+	// before the switch statement below, so enabling it never renumbers
+	// the existing cases: a (seed, cfg) pair without Switch generates
+	// the exact schedule it always did.
+	switchTargets := []string{"TOTAL", "", "COMPRESS:TOTAL", "ADAPT"}
+	if cfg.Switch {
+		kinds++
+	}
 	var crashBusyUntil, partBusyUntil time.Duration
 	for i := 0; i < cfg.Incidents; i++ {
 		start := time.Duration(rng.Int63n(int64(cfg.Horizon * 3 / 4)))
-		switch rng.Intn(kinds) {
+		idx := rng.Intn(kinds)
+		if cfg.Switch && idx == kinds-1 {
+			// Reconfiguration request: a random member asks for a random
+			// target segment. No busy-spacing — switches are supposed to
+			// collide with partitions, squeezes, and each other; the
+			// protocol's refusal/abort edges absorb the overlap.
+			a := rng.Intn(cfg.Members)
+			tgt := switchTargets[rng.Intn(len(switchTargets))]
+			s = append(s, Action{At: start, Kind: KindSwitch, A: a, Target: tgt,
+				Note: "switch storm"})
+			continue
+		}
+		switch idx {
 		case 0: // loss ramp on a symmetric link
 			a, b := pair()
 			steps := 3 + rng.Intn(3)

@@ -26,6 +26,7 @@ type History struct {
 	mu         sync.Mutex
 	Views      []*core.View
 	Deliveries []Delivery
+	Switches   []SwitchRecord
 	Crashed    bool // this incarnation was crashed by the schedule
 }
 
@@ -41,6 +42,22 @@ type Delivery struct {
 	Payload string
 	Lost    bool
 	From    core.EndpointID
+
+	// Epoch is the reconfiguration epoch the payload was cast in, as
+	// stamped by a SWITCH layer. Zero for stacks without SWITCH and for
+	// casts in the initial configuration.
+	Epoch uint64
+}
+
+// SwitchRecord is one SWITCH outcome upcall: a committed
+// reconfiguration to a new segment (Detail is the segment description,
+// possibly empty) or an aborted attempt rolled back to the old stack
+// (Detail is the abort reason).
+type SwitchRecord struct {
+	View      core.ViewID
+	Epoch     uint64
+	Committed bool
+	Detail    string
 }
 
 func (h *History) name() string { return fmt.Sprintf("s%d.%d", h.Slot, h.Inc) }
@@ -56,9 +73,19 @@ func (h *History) handler() core.Handler {
 			h.Views = append(h.Views, ev.View)
 			cur = ev.View.ID
 		case core.UCast:
-			h.Deliveries = append(h.Deliveries, Delivery{View: cur, Payload: string(ev.Msg.Body())})
+			h.Deliveries = append(h.Deliveries, Delivery{
+				View: cur, Payload: string(ev.Msg.Body()), Epoch: ev.Epoch})
 		case core.ULostMessage:
 			h.Deliveries = append(h.Deliveries, Delivery{View: cur, Lost: true, From: ev.Source})
+		case core.USwitch:
+			rec := SwitchRecord{View: cur, Epoch: ev.Epoch}
+			if strings.HasPrefix(ev.Reason, "committed") {
+				rec.Committed = true
+				rec.Detail = strings.TrimSpace(strings.TrimPrefix(ev.Reason, "committed"))
+			} else {
+				rec.Detail = strings.TrimSpace(strings.TrimPrefix(ev.Reason, "aborted:"))
+			}
+			h.Switches = append(h.Switches, rec)
 		}
 	}
 }
@@ -107,6 +134,9 @@ func CheckAll(hs []*History) []error {
 	errs = append(errs, CheckNoDuplicates(hs)...)
 	errs = append(errs, CheckFIFO(hs)...)
 	errs = append(errs, CheckViewAgreement(hs)...)
+	errs = append(errs, CheckSwitchEpochs(hs)...)
+	errs = append(errs, CheckSwitchAgreement(hs)...)
+	errs = append(errs, CheckSwitchTotalOrder(hs)...)
 	return errs
 }
 
@@ -324,6 +354,158 @@ func setDiff(a, b map[string]bool) string {
 	sort.Strings(onlyA)
 	sort.Strings(onlyB)
 	return fmt.Sprintf("only-first=%v only-second=%v", onlyA, onlyB)
+}
+
+// CheckSwitchEpochs: within one incarnation, committed reconfiguration
+// epochs strictly increase. An epoch installed twice means a retired
+// segment came back from the dead; a regression means the epoch fence
+// failed. Vacuous for stacks without SWITCH.
+func CheckSwitchEpochs(hs []*History) []error {
+	var errs []error
+	for _, h := range hs {
+		last := uint64(0)
+		have := false
+		for _, s := range h.Switches {
+			if !s.Committed {
+				continue
+			}
+			if have && s.Epoch <= last {
+				errs = append(errs, fmt.Errorf(
+					"switch-epochs: %s committed epoch %d after epoch %d",
+					h.name(), s.Epoch, last))
+			}
+			last, have = s.Epoch, true
+		}
+	}
+	return errs
+}
+
+// CheckSwitchAgreement: any two incarnations that commit the same
+// reconfiguration epoch agree on the segment it installed. The SWITCH
+// commit rides the virtual-synchrony base, so a disagreement means two
+// members accepted different PROPOSEs for one epoch — the atomicity
+// the protocol exists to provide.
+func CheckSwitchAgreement(hs []*History) []error {
+	var errs []error
+	seen := map[uint64]struct {
+		desc string
+		who  string
+	}{}
+	for _, h := range hs {
+		for _, s := range h.Switches {
+			if !s.Committed {
+				continue
+			}
+			if prev, ok := seen[s.Epoch]; ok {
+				if prev.desc != s.Detail {
+					errs = append(errs, fmt.Errorf(
+						"switch-agreement: epoch %d is %q at %s but %q at %s",
+						s.Epoch, prev.desc, prev.who, s.Detail, h.name()))
+				}
+				continue
+			}
+			seen[s.Epoch] = struct{ desc, who string }{s.Detail, h.name()}
+		}
+	}
+	return errs
+}
+
+// CheckSwitchTotalOrder: in any epoch whose committed segment carries
+// a TOTAL layer, two members sharing a view deliver their common
+// payloads in the same relative order. This is the post-switch payoff
+// check: a FIFO→TOTAL upgrade is only real if ordering actually
+// tightens after RESUME. Scoped per (epoch, view) because TOTAL's
+// guarantee is within-view and concurrent partitioned views may
+// legitimately order disjoint suffixes differently.
+func CheckSwitchTotalOrder(hs []*History) []error {
+	// Epochs with a TOTAL segment, learned from any commit record.
+	totalEpoch := map[uint64]bool{}
+	for _, h := range hs {
+		for _, s := range h.Switches {
+			if s.Committed && strings.Contains(s.Detail, "TOTAL") {
+				totalEpoch[s.Epoch] = true
+			}
+		}
+	}
+	if len(totalEpoch) == 0 {
+		return nil
+	}
+	type scope struct {
+		epoch uint64
+		view  core.ViewID
+	}
+	seqs := map[scope]map[string][]string{} // scope -> member name -> payload order
+	for _, h := range hs {
+		for _, d := range h.Deliveries {
+			if d.Lost || !totalEpoch[d.Epoch] {
+				continue
+			}
+			sc := scope{d.Epoch, d.View}
+			if seqs[sc] == nil {
+				seqs[sc] = map[string][]string{}
+			}
+			seqs[sc][h.name()] = append(seqs[sc][h.name()], d.Payload)
+		}
+	}
+	scopes := make([]scope, 0, len(seqs))
+	for sc := range seqs {
+		scopes = append(scopes, sc)
+	}
+	sort.Slice(scopes, func(i, j int) bool {
+		if scopes[i].epoch != scopes[j].epoch {
+			return scopes[i].epoch < scopes[j].epoch
+		}
+		return scopes[i].view.Older(scopes[j].view)
+	})
+	var errs []error
+	for _, sc := range scopes {
+		byMember := seqs[sc]
+		names := make([]string, 0, len(byMember))
+		for n := range byMember {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				a, b := byMember[names[i]], byMember[names[j]]
+				ca, cb := commonOrder(a, b)
+				for k := range ca {
+					if ca[k] != cb[k] {
+						errs = append(errs, fmt.Errorf(
+							"switch-total-order: epoch %d view %v: %s delivered %q before %q but %s ordered them the other way",
+							sc.epoch, sc.view, names[i], ca[k], cb[k], names[j]))
+						break
+					}
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// commonOrder filters each payload sequence down to the payloads
+// present in both, preserving order.
+func commonOrder(a, b []string) ([]string, []string) {
+	inA := map[string]bool{}
+	for _, p := range a {
+		inA[p] = true
+	}
+	inB := map[string]bool{}
+	for _, p := range b {
+		inB[p] = true
+	}
+	var fa, fb []string
+	for _, p := range a {
+		if inB[p] {
+			fa = append(fa, p)
+		}
+	}
+	for _, p := range b {
+		if inA[p] {
+			fb = append(fb, p)
+		}
+	}
+	return fa, fb
 }
 
 // parsePayload splits a workload payload "s<slot>.<inc>-<seq>" into

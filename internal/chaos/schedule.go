@@ -33,12 +33,13 @@ const (
 	KindHeal                        // remove the partition
 	KindSetHost                     // per-host limits (egress budget) on slot A
 	KindClearHost                   // drop slot A's per-host limits
+	KindSwitch                      // slot A requests a stack reconfiguration to Target
 )
 
 var kindNames = [...]string{
 	"set-link", "set-link-directed", "clear-link",
 	"crash", "recover", "partition", "heal",
-	"set-host", "clear-host",
+	"set-host", "clear-host", "switch",
 }
 
 func (k Kind) String() string {
@@ -63,6 +64,11 @@ type Action struct {
 	Host  netsim.Host // for set-host
 	Sides [][]int     // partition components; two-way or multi-way
 	Note  string      // provenance, e.g. "ramp 2/5"
+
+	// Target is the segment description a KindSwitch action asks slot
+	// A to reconfigure to ("" empties the segment back to the plain
+	// FIFO personality). Ignored by every other kind.
+	Target string
 }
 
 func (a Action) String() string {
@@ -84,6 +90,8 @@ func (a Action) String() string {
 	case KindSetHost:
 		return fmt.Sprintf("%8v %s s%d egress=%dB/s q=%dB %s",
 			a.At, a.Kind, a.A, a.Host.EgressBudget, a.Host.EgressQueue, a.Note)
+	case KindSwitch:
+		return fmt.Sprintf("%8v %s s%d -> %q %s", a.At, a.Kind, a.A, a.Target, a.Note)
 	case KindPartition:
 		parts := make([]string, len(a.Sides))
 		for i, side := range a.Sides {
@@ -231,6 +239,27 @@ func EgressSqueeze(start, dwell time.Duration, a int, bps, queue int) Schedule {
 			Host: netsim.Host{EgressBudget: bps, EgressQueue: queue}, Note: "egress squeeze"},
 		{At: start + dwell, Kind: KindClearHost, A: a, Note: "egress squeeze end"},
 	}
+}
+
+// SwitchStorm builds a barrage of run-time reconfiguration requests:
+// `count` switches, one every `every` from `start`, issued from
+// rotating initiator slots (mod `members`) and cycling through the
+// `targets` segment descriptions. Interleaved with partitions,
+// crashes or egress squeezes it produces exactly the hostile overlap
+// the SWITCH protocol's abort/rollback edges exist for; on a calm
+// fabric it proves repeated upgrades and downgrades converge.
+func SwitchStorm(start, every time.Duration, count, members int, targets []string) Schedule {
+	var s Schedule
+	at := start
+	for i := 0; i < count; i++ {
+		tgt := targets[i%len(targets)]
+		s = append(s, Action{
+			At: at, Kind: KindSwitch, A: i % members, Target: tgt,
+			Note: fmt.Sprintf("switch storm %d/%d", i+1, count),
+		})
+		at += every
+	}
+	return s
 }
 
 // ReorderBurst arms the explicit reorder rule on the symmetric a-b

@@ -24,6 +24,12 @@ type SoakConfig struct {
 	// casts instead of making independent progress.
 	Harsh bool
 
+	// Switch runs the cluster on SwitchStack (a SWITCH reconfiguration
+	// layer over the default stack) and adds the switch incident class
+	// to the generated schedule, so stacks get upgraded, downgraded,
+	// and reshaped while everything else is on fire.
+	Switch bool
+
 	// NewFabric, when set, supplies the transport substrate for each
 	// seed (e.g. a chaosnet UDP fabric). Nil means the deterministic
 	// simulated fabric. The cluster owns the fabric and closes it.
@@ -68,6 +74,12 @@ func RunSeed(seed int64, cfg SoakConfig) (*Cluster, error) {
 	if cfg.Harsh {
 		ccfg.Stack = PrimaryStack(cfg.Members)
 	}
+	if cfg.Switch {
+		ccfg.Stack = SwitchStack
+		if cfg.Harsh {
+			ccfg.Stack = PrimarySwitchStack(cfg.Members)
+		}
+	}
 	c := NewCluster(ccfg)
 	if err := c.Form(cfg.FormBy); err != nil {
 		c.Close()
@@ -75,7 +87,7 @@ func RunSeed(seed int64, cfg SoakConfig) (*Cluster, error) {
 	}
 	sched := Generate(seed, GenConfig{
 		Members: cfg.Members, Horizon: cfg.Horizon, Incidents: cfg.Incidents,
-		Harsh: cfg.Harsh,
+		Harsh: cfg.Harsh, Switch: cfg.Switch,
 	})
 	c.Apply(sched)
 	c.Run(sched.End() + 500*time.Millisecond)

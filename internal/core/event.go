@@ -102,13 +102,22 @@ const (
 	// documented in DESIGN.md: banded thresholds with hysteresis, at most
 	// one upcall per band transition, monotone within a band.
 	USuspect
+	// USwitch reports the outcome of a run-time stack reconfiguration
+	// (the SWITCH layer's epoch fence). Not in Table 2: the paper
+	// promises LEGO-style restacking at run time but gives no event for
+	// it. Epoch carries the reconfiguration epoch; Reason begins with
+	// "committed" (the new segment is live) or "aborted" (the old
+	// segment was rolled back, with the cause appended). Delivered
+	// CAST/SEND events emerging from a switchable stack also carry the
+	// epoch they were sent under in Epoch.
+	USwitch
 )
 
 // IsDowncall reports whether t travels from application to network.
 func (t EventType) IsDowncall() bool { return t >= DCast && t <= DLocate }
 
 // IsUpcall reports whether t travels from network to application.
-func (t EventType) IsUpcall() bool { return t >= UPacket && t <= USuspect }
+func (t EventType) IsUpcall() bool { return t >= UPacket && t <= USwitch }
 
 var eventNames = map[EventType]string{
 	DCast: "cast", DSend: "send", DAck: "ack", DStable: "stable",
@@ -120,7 +129,7 @@ var eventNames = map[EventType]string{
 	ULostMessage: "LOST_MESSAGE", UStable: "STABLE", UProblem: "PROBLEM",
 	USystemError: "SYSTEM_ERROR", UExit: "EXIT",
 	UMergeRequest: "MERGE_REQUEST", UMergeDenied: "MERGE_DENIED",
-	ULocate: "LOCATE", USuspect: "SUSPECT",
+	ULocate: "LOCATE", USuspect: "SUSPECT", USwitch: "SWITCH",
 }
 
 // String returns the paper's name for the event type: lower case for
@@ -184,6 +193,12 @@ type Event struct {
 	// Higher means longer-than-expected silence from Source; a
 	// retraction carries the (lower) level φ fell back to.
 	Phi float64
+
+	// Epoch is the reconfiguration epoch of a SWITCH upcall, and the
+	// sending epoch stamped on CAST/SEND deliveries emerging from a
+	// stack with a SWITCH fence. Zero means the initial (never
+	// reconfigured) configuration.
+	Epoch uint64
 
 	// Primary marks a VIEW upcall as belonging to the primary
 	// partition when the membership layer runs with the Isis-style

@@ -57,6 +57,11 @@ type Handler func(ev *Event)
 type Context struct {
 	stack *Stack
 	index int
+	// sub is non-nil for a layer living inside a host-managed segment
+	// (see SubStack): Down/Up route within the segment and timers stop
+	// firing once the segment is detached. Everything else — identity,
+	// transport, timers, tracing — is shared with the outer stack.
+	sub *SubStack
 }
 
 // Down passes ev to the next layer below that acts on it (transparent
@@ -65,6 +70,10 @@ type Context struct {
 // falling off the bottom means the stack lacks a COM layer; it is
 // reported as a SYSTEM_ERROR upcall rather than silently dropped.
 func (c *Context) Down(ev *Event) {
+	if c.sub != nil {
+		c.sub.down(c.index+1, ev)
+		return
+	}
 	n := len(c.stack.layers)
 	j := c.stack.skipNextDown(ev.Type, c.index+1, n)
 	if j < n {
@@ -85,6 +94,10 @@ func (c *Context) Down(ev *Event) {
 // Up passes ev to the next layer above that acts on it, or delivers it
 // to the application handler at the top of the stack.
 func (c *Context) Up(ev *Event) {
+	if c.sub != nil {
+		c.sub.up(c.index-1, ev)
+		return
+	}
 	j := c.stack.skipNextUp(ev.Type, c.index-1)
 	if j >= 0 {
 		c.stack.layers[j].Up(ev)
@@ -106,9 +119,10 @@ func (c *Context) Transmit(dests []EndpointID, msg *message.Message) {
 func (c *Context) SetTimer(d time.Duration, fn func()) (cancel func()) {
 	ep := c.stack.group.ep
 	stack := c.stack
+	sub := c.sub
 	return ep.transport.SetTimer(d, func() {
 		ep.exec.Do(func() {
-			if stack.destroyed {
+			if stack.destroyed || (sub != nil && sub.detached) {
 				return
 			}
 			fn()

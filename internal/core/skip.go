@@ -33,7 +33,7 @@ type skipTables struct {
 }
 
 // eventSlots covers the dense event-kind index space.
-const eventSlots = int(DLocate) + int(USuspect-UPacket) + 2
+const eventSlots = int(DLocate) + int(USwitch-UPacket) + 2
 
 // eventIndex maps the HCPI vocabulary onto 0..eventSlots-1; unknown
 // kinds map to slot 0 (DCast's slot is never transparent-only in
@@ -42,7 +42,7 @@ func eventIndex(t EventType) int {
 	if t >= DCast && t <= DLocate {
 		return int(t - DCast)
 	}
-	if t >= UPacket && t <= USuspect {
+	if t >= UPacket && t <= USwitch {
 		return int(DLocate) + int(t-UPacket) + 1
 	}
 	return 0
@@ -83,7 +83,7 @@ func buildSkipTables(layers []Layer) *skipTables {
 	for t := DCast; t <= DLocate; t++ {
 		fill(t)
 	}
-	for t := UPacket; t <= USuspect; t++ {
+	for t := UPacket; t <= USwitch; t++ {
 		fill(t)
 	}
 	return st

@@ -91,6 +91,13 @@ func (s *Stack) Focus(name string) Layer {
 		if l.Name() == name {
 			return l
 		}
+		if h, ok := l.(SegmentHolder); ok {
+			if seg := h.Segment(); seg != nil {
+				if f := seg.Focus(name); f != nil {
+					return f
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -101,6 +108,11 @@ func (s *Stack) Names() string {
 	names := make([]string, len(s.layers))
 	for i, l := range s.layers {
 		names[i] = l.Name()
+		if h, ok := l.(SegmentHolder); ok {
+			if seg := h.Segment(); seg != nil {
+				names[i] += "[" + seg.Names() + "]"
+			}
+		}
 	}
 	return strings.Join(names, ":")
 }

@@ -166,6 +166,13 @@ func (a *Adapt) Level() float64 { return a.level }
 // QueueLen returns the number of casts currently paced.
 func (a *Adapt) QueueLen() int { return len(a.queue) }
 
+// Quiescent implements core.Quiescer for the SWITCH reconfiguration
+// protocol: the sending side is quiescent when the paced queue is
+// empty; the layer buffers nothing on the delivery side.
+func (a *Adapt) Quiescent(down bool) bool {
+	return !down || len(a.queue) == 0
+}
+
 // Init implements core.Layer.
 func (a *Adapt) Init(c *core.Context) error {
 	if err := a.Base.Init(c); err != nil {

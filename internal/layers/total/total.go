@@ -91,6 +91,8 @@ type Total struct {
 	queued     map[core.EndpointID]bool // dedup for queue
 	requesting bool
 	reqCancel  func()
+	flushing   bool // membership flush in progress: stamping is paused
+	primary    bool // current view is primary: stamping allowed
 
 	reqRetry  time.Duration
 	destroyed bool
@@ -114,6 +116,17 @@ func (t *Total) Stats() Stats { return t.stats }
 
 // Holder reports whether this member currently holds the token.
 func (t *Total) Holder() bool { return t.holder }
+
+// Quiescent implements core.Quiescer for the SWITCH reconfiguration
+// protocol: on the sending side the layer is quiescent when no cast is
+// still waiting for the token; on the delivery side, when the reorder
+// buffer has drained (every stamped cast delivered in order).
+func (t *Total) Quiescent(down bool) bool {
+	if down {
+		return len(t.pendingOut) == 0
+	}
+	return len(t.buffer) == 0
+}
 
 // Init implements core.Layer.
 func (t *Total) Init(c *core.Context) error {
@@ -170,17 +183,41 @@ func (t *Total) Up(ev *core.Event) {
 		case kReq:
 			t.receiveReq(ev)
 		}
+	case core.UFlush:
+		t.flushing = true
+		t.Ctx.Up(ev)
 	case core.UView:
+		t.primary = ev.Primary
 		t.applyView(ev.View)
 		t.Ctx.Up(ev)
+		// Resubmit only after the view has gone up: casting down can
+		// self-deliver synchronously through the membership layer, and
+		// a delivery emitted before the UView upcall would reach the
+		// application in the old view while remote members deliver the
+		// same cast in the new one — a view-agreement violation.
+		t.resubmitPending()
 	default:
 		t.Ctx.Up(ev)
 	}
 }
 
 // flushPending stamps and sends everything waiting, then considers
-// passing the token on.
+// passing the token on. While the membership layer is flushing a view
+// change, stamping is paused: a cast stamped mid-flush would be
+// deferred below and released into the NEXT view still carrying this
+// view's order stamp, colliding with the fresh order space. The pause
+// makes the cut communication-closed; applyView resumes stamping.
+// The same hazard exists in a non-primary view under the
+// primary-partition restriction: the membership layer parks every
+// cast until the member rejoins a primary view, so a stamp issued now
+// would be released into a future view's fresh order space — and the
+// other side of the partition would release its own identically
+// numbered stamps, colliding with ours. Stamping waits for primacy;
+// the casts queue in pendingOut and resubmit on the primary install.
 func (t *Total) flushPending() {
+	if t.flushing || !t.primary {
+		return
+	}
 	for _, msg := range t.pendingOut {
 		t.nextOrd++
 		msg.PushUint64(t.nextOrd)
@@ -345,9 +382,9 @@ func (t *Total) drain() {
 // applyView handles a virtually synchronous view change: drain every
 // buffered stamped message (virtual synchrony made the buffered sets
 // identical at all survivors, so gap-skipping drain order is
-// deterministic), reset the order space, elect the lowest-ranked
-// member as first holder, and re-submit casts that never obtained the
-// token in the previous view.
+// deterministic), reset the order space, and elect the lowest-ranked
+// member as first holder. Re-submission of casts that never obtained
+// the token is deferred to resubmitPending.
 func (t *Total) applyView(v *core.View) {
 	// Deliver leftovers in ascending stamp order; any gaps belong to
 	// messages no survivor delivered.
@@ -366,6 +403,7 @@ func (t *Total) applyView(v *core.View) {
 	}
 
 	t.view = v
+	t.flushing = false
 	t.delivered = 0
 	t.nextOrd = 0
 	t.buffer = make(map[uint64]*core.Event)
@@ -377,6 +415,12 @@ func (t *Total) applyView(v *core.View) {
 		t.holder = v.Members[0] == t.Ctx.Self()
 		t.lastKnown = v.Members[0]
 	}
+}
+
+// resubmitPending re-submits casts that never obtained the token in
+// the previous view. Kept separate from applyView so the caller can
+// forward the UView upcall first; see the UView case in Up.
+func (t *Total) resubmitPending() {
 	if len(t.pendingOut) > 0 {
 		t.stats.Resubmits += len(t.pendingOut)
 		if t.holder {

@@ -108,7 +108,7 @@ func TestViewChangeResetsOrderAndElectsRankZero(t *testing.T) {
 	}
 	v := core.NewView(core.ViewID{Seq: 2, Coord: h.Self()}, "test",
 		[]core.EndpointID{h.Self(), peer})
-	h.InjectUp(&core.Event{Type: core.UView, View: v})
+	h.InjectUp(&core.Event{Type: core.UView, View: v, Primary: true})
 	if !l.Holder() {
 		t.Fatal("lowest rank did not regenerate the token after the view change")
 	}
@@ -134,7 +134,7 @@ func TestPendingCastsResubmittedAfterViewChange(t *testing.T) {
 	// The holder crashes; the new view makes us rank 0.
 	v := core.NewView(core.ViewID{Seq: 2, Coord: h.Self()}, "test",
 		[]core.EndpointID{h.Self()})
-	h.InjectUp(&core.Event{Type: core.UView, View: v})
+	h.InjectUp(&core.Event{Type: core.UView, View: v, Primary: true})
 	sent := h.DownOfType(core.DCast)
 	if len(sent) != 1 {
 		t.Fatalf("pending cast not resubmitted: %d", len(sent))

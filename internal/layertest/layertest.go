@@ -154,6 +154,9 @@ func (h *Harness) Reset() {
 func (h *Harness) InstallView(members ...core.EndpointID) *core.View {
 	v := core.NewView(core.ViewID{Seq: 1, Coord: members[0]}, "test", members)
 	h.InjectDown(&core.Event{Type: core.DView, View: v})
-	h.InjectUp(&core.Event{Type: core.UView, View: v})
+	h.InjectUp(&core.Event{Type: core.UView, View: v, Primary: true})
+	// Layers may finish view handling on a same-instant timer (e.g.
+	// SWITCH's deferred gate release); fire those without moving time.
+	h.Net.RunFor(0)
 	return v
 }

@@ -74,10 +74,31 @@ var Table3 = []LayerSpec{
 	// preserved for everything admitted.
 	{Name: "ADAPT", Requires: P3 | P4 | P11, Provides: 0, Inherits: reliable, Cost: 1},
 	{Name: "GKEY", Requires: P9 | P15, Provides: 0, Inherits: reliable, Cost: 3},
+	// SWITCH is the run-time reconfiguration fence (package switchp).
+	// It needs virtually synchronous reliable multicast beneath it: its
+	// PROPOSE/QUIESCED/READY/COMMIT/ABORT control rounds are ordinary
+	// casts whose all-or-nothing delivery within a view (P9) is what
+	// makes the commit decision uniform, and FIFO (P3) is what makes a
+	// QUIESCED marker a communication-closed cut (it cannot overtake the
+	// data it fences). It adds no property of its own — the properties
+	// of the managed segment above it are derived per epoch, against
+	// SegmentBase.
+	{Name: "SWITCH", Requires: P3 | P4 | P8 | P9 | P15, Provides: 0, Inherits: reliable, Cost: 2},
 	{Name: "TRACE", Requires: 0, Provides: 0, Inherits: All, Cost: 1},
 	{Name: "ACCOUNT", Requires: 0, Provides: 0, Inherits: All, Cost: 1},
 	{Name: "MLOG", Requires: 0, Provides: 0, Inherits: All, Cost: 1},
 }
+
+// SegmentBase is the property set a SWITCH-managed segment may assume
+// from the stack beneath the reconfiguration fence: exactly what the
+// canonical base MBRSHIP:HBEAT:NAK:COM yields from a P1 network. Static
+// checking (horus-vet's stackcheck) derives constant segment targets
+// against this set, so "TOTAL:COM" — a segment smuggling a raw-network
+// layer above the fence — is rejected at analysis time. The run-time
+// engine re-derives against the *actual* layers below the fence before
+// any switch moves, so a stack with a richer or poorer base is still
+// checked exactly.
+const SegmentBase = P3 | P4 | P8 | P9 | P10 | P11 | P12 | P15
 
 // Spec returns the named layer's row, or an error.
 func Spec(name string) (LayerSpec, error) {

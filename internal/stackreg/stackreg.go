@@ -33,6 +33,7 @@ import (
 	"horus/internal/layers/safe"
 	"horus/internal/layers/sign"
 	"horus/internal/layers/stable"
+	"horus/internal/layers/switchp"
 	"horus/internal/layers/total"
 	"horus/internal/layers/trace"
 	"horus/internal/layers/tstamp"
@@ -50,7 +51,7 @@ var demoKey = []byte("horus-demo-key-0123456789abcdef!")[:32]
 // registry.
 func Registry() map[string]core.Factory {
 	store := mlog.NewMemStore()
-	return map[string]core.Factory{
+	reg := map[string]core.Factory{
 		"ADAPT":    adapt.New,
 		"COM":      com.New,
 		"NAK":      nak.New,
@@ -79,6 +80,15 @@ func Registry() map[string]core.Factory {
 		"ACCOUNT":  account.New,
 		"MLOG":     mlog.New(store),
 	}
+	// SWITCH resolves its segment targets through this same registry
+	// (closing over reg is safe: the map is fully built before any
+	// factory runs), so a reconfigured segment gets the same layer
+	// implementations a static Build would.
+	reg["SWITCH"] = switchp.NewWith(switchp.WithResolver(func(name string) (core.Factory, bool) {
+		f, ok := reg[name]
+		return f, ok
+	}))
+	return reg
 }
 
 // Build parses a top-first stack description, verifies it is

@@ -1,0 +1,142 @@
+package stackreg_test
+
+import (
+	"strings"
+	"testing"
+
+	"horus/internal/property"
+	"horus/internal/stackreg"
+)
+
+// concreteBase is the canonical stack beneath a SWITCH fence, raw
+// network upward; property.SegmentBase documents itself as exactly
+// this stack's yield over a P1 network.
+var concreteBase = []string{"SWITCH", "MBRSHIP", "FRAG", "NAK", "COM"}
+
+// segmentCandidates enumerates every segment the switch engine's
+// insert/remove/swap moves can reach with up to two in-tree layers:
+// the empty segment (remove back to the base personality), every
+// single layer, and every ordered pair. Order matters — [A B] and
+// [B A] are different stacks and the matrix covers both.
+func segmentCandidates() [][]string {
+	names := property.Names()
+	segs := [][]string{{}}
+	for _, a := range names {
+		segs = append(segs, []string{a})
+	}
+	for _, a := range names {
+		for _, b := range names {
+			segs = append(segs, []string{a, b})
+		}
+	}
+	return segs
+}
+
+// TestSwitchSegmentMatrix pins the two derivations the SWITCH engine
+// depends on against each other, over the full insert/remove/swap
+// matrix of in-tree layers:
+//
+//   - the fence verdict — Derive(SegmentBase, segment+SWITCH) — is
+//     what a switch proposal checks before anything quiesces;
+//   - the ground truth — the same segment derived from a raw P1
+//     network through the concrete SWITCH:MBRSHIP:FRAG:NAK:COM base —
+//     is what a static stack build of the post-switch configuration
+//     would check.
+//
+// The two must agree on every candidate: a disagreement means
+// property.SegmentBase has drifted from the base stack's actual yield
+// (say, someone edits NAK's Provides row), and the switch engine would
+// start accepting segments a static build rejects or vice versa.
+// Agreement is also checked against stackreg.Build for the full
+// post-switch stack, which additionally proves every accepted segment
+// has working factories, and that every fence rejection is a Build
+// rejection too — the error paths that must refuse a switch.
+func TestSwitchSegmentMatrix(t *testing.T) {
+	accepted, rejected := 0, 0
+	for _, seg := range segmentCandidates() {
+		seg := seg
+		desc := strings.Join(seg, ":")
+		fenceStack := append(append([]string{}, seg...), "SWITCH")
+		_, fenceErr := property.Derive(property.SegmentBase, fenceStack)
+
+		full := append(append([]string{}, seg...), concreteBase...)
+		fullDesc := strings.Join(full, ":")
+		_, concreteErr := property.Derive(property.P1, full)
+
+		if (fenceErr == nil) != (concreteErr == nil) {
+			t.Errorf("segment %q: fence verdict (%v) disagrees with concrete-base verdict (%v) — SegmentBase drifted from the base stack's yield",
+				desc, fenceErr, concreteErr)
+			continue
+		}
+
+		_, buildErr := stackreg.Build(fullDesc, property.P1)
+		if fenceErr == nil {
+			accepted++
+			if buildErr != nil {
+				t.Errorf("segment %q: fence accepts but Build(%q) fails: %v", desc, fullDesc, buildErr)
+			}
+		} else {
+			rejected++
+			if buildErr == nil {
+				t.Errorf("segment %q: fence rejects (%v) but Build(%q) succeeds", desc, fenceErr, fullDesc)
+			}
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("degenerate matrix: %d accepted, %d rejected — the sweep must exercise both outcomes", accepted, rejected)
+	}
+	t.Logf("switch segment matrix: %d accepted, %d rejected", accepted, rejected)
+}
+
+// TestSwitchSegmentVerdicts pins golden verdicts for the upgrade,
+// downgrade, and reshape paths the chaos storms and the README example
+// actually take, plus the error paths that must reject a switch — with
+// the offending layer named in the error.
+func TestSwitchSegmentVerdicts(t *testing.T) {
+	ok := []string{
+		"",              // remove: back to the plain FIFO personality
+		"TOTAL",         // the canonical FIFO→TOTAL upgrade
+		"ADAPT",         // load shedding over the base
+		"ADAPT:TOTAL",   // shedding above total order
+		"STABLE",        // gossip stability over the base
+		"PINWHEEL",      // token stability over the base
+		"TSTAMP",        // vector timestamps
+		"CAUSAL:TSTAMP", // CAUSAL needs P13; inserting TSTAMP beneath supplies it
+		"SAFE:STABLE",   // SAFE needs P14; STABLE beneath supplies it
+		"FC",            // flow control over reliable FIFO
+		"MERGE",         // partition healing above the fence
+	}
+	for _, desc := range ok {
+		names := append(property.ParseStack(desc), "SWITCH")
+		if _, err := property.Derive(property.SegmentBase, names); err != nil {
+			t.Errorf("segment %q: expected well-formed over the segment base, got %v", desc, err)
+		}
+	}
+
+	bad := []struct {
+		desc string
+		want string // substring the rejection must carry
+	}{
+		{"COMPRESS", "COMPRESS requires {P1}"}, // raw-network layer above the fence
+		{"NAK", "NAK requires {P1}"},           // reliability layer re-inserted above itself
+		{"COM", "COM requires {P1}"},           // transport smuggled above the fence
+		{"VSS", "VSS requires"},                // needs stability (P14) the base lacks
+		{"SAFE", "SAFE requires"},              // same, without its STABLE prerequisite
+		{"CAUSAL", "CAUSAL requires"},          // needs P13 with no TSTAMP beneath
+		// The CAUSAL:TSTAMP pair swapped: CAUSAL now sits beneath its
+		// P13 provider and goes unmet — order matters.
+		{"TSTAMP:CAUSAL", "CAUSAL requires {P13}"},
+		{"TOTAL:XCOM", `unknown layer "XCOM"`}, // no Table 3 row at all
+	}
+	for _, tc := range bad {
+		names := append(property.ParseStack(tc.desc), "SWITCH")
+		_, err := property.Derive(property.SegmentBase, names)
+		if err == nil {
+			t.Errorf("segment %q: expected rejection, derived fine", tc.desc)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("segment %q: rejection %q does not name the offense %q", tc.desc, err, tc.want)
+		}
+	}
+}
