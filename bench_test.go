@@ -32,8 +32,9 @@ import (
 // -json measures exactly this code; nopLayer/sinkLayer ride along as
 // benchkit.NopLayer/SinkLayer.
 type (
-	nopLayer  = benchkit.NopLayer
-	sinkLayer = benchkit.SinkLayer
+	nopLayer    = benchkit.NopLayer
+	opaqueLayer = benchkit.OpaqueNopLayer
+	sinkLayer   = benchkit.SinkLayer
 )
 
 // BenchmarkLayerCrossing measures the cost of pushing a cast through k
@@ -43,6 +44,14 @@ func BenchmarkLayerCrossing(b *testing.B) {
 	for _, depth := range benchkit.LayerCrossingDepths {
 		b.Run(fmt.Sprintf("depth=%d", depth), benchkit.LayerCrossing(depth))
 	}
+}
+
+// BenchmarkCompiledCast measures the §10 compiled send plan against
+// the per-layer reference path on the same stack, with pooled message
+// buffers; the fast variant must report zero allocations per cast.
+func BenchmarkCompiledCast(b *testing.B) {
+	b.Run("path=fast", benchkit.CompiledCast(true))
+	b.Run("path=ref", benchkit.CompiledCast(false))
 }
 
 // BenchmarkFragOverhead reproduces the paper's §10 measurement: "the
@@ -411,7 +420,7 @@ func BenchmarkLayerSkipping(b *testing.B) {
 			if transparent {
 				spec = append(spec, func() core.Layer { return &transparentLayer{} })
 			} else {
-				spec = append(spec, func() core.Layer { return &nopLayer{} })
+				spec = append(spec, func() core.Layer { return &opaqueLayer{} })
 			}
 		}
 		sink := &sinkLayer{}

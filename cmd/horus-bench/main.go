@@ -55,9 +55,18 @@ import (
 
 func main() {
 	jsonOut := flag.String("json", "", "write machine-readable CPU benchmark results to this file (\"-\" for stdout) instead of running the experiment tables")
+	check := flag.String("check", "", "run the CPU benchmark suite and fail on regressions against this baseline snapshot (a BENCH_<n>.json)")
+	tol := flag.Float64("tol", 0.35, "fractional ns/op regression tolerated by -check; allocs/op increases always fail")
 	flag.Parse()
 	if *jsonOut != "" {
 		if err := emitJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "horus-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *check != "" {
+		if err := checkAgainst(*check, *tol); err != nil {
 			fmt.Fprintf(os.Stderr, "horus-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -612,10 +621,10 @@ type benchSnapshot struct {
 	Benchmarks []benchRecord `json:"benchmarks"`
 }
 
-// emitJSON runs the shared CPU benchmark bodies (internal/benchkit —
+// runSuite runs the shared CPU benchmark bodies (internal/benchkit —
 // the same code `go test -bench` runs) under testing.Benchmark and
-// writes the snapshot to path.
-func emitJSON(path string) error {
+// returns the snapshot.
+func runSuite() (benchSnapshot, error) {
 	type namedBench struct {
 		name string
 		fn   func(*testing.B)
@@ -625,6 +634,9 @@ func emitJSON(path string) error {
 		suite = append(suite, namedBench{
 			fmt.Sprintf("LayerCrossing/depth=%d", depth), benchkit.LayerCrossing(depth)})
 	}
+	suite = append(suite,
+		namedBench{"CompiledCast/path=fast", benchkit.CompiledCast(true)},
+		namedBench{"CompiledCast/path=ref", benchkit.CompiledCast(false)})
 	for _, size := range benchkit.FragOverheadSizes {
 		for _, withFrag := range []bool{false, true} {
 			label := "nofrag"
@@ -653,7 +665,7 @@ func emitJSON(path string) error {
 		fmt.Fprintf(os.Stderr, "bench %s\n", nb.name)
 		r := testing.Benchmark(nb.fn)
 		if r.N == 0 {
-			return fmt.Errorf("benchmark %s failed (zero iterations)", nb.name)
+			return snap, fmt.Errorf("benchmark %s failed (zero iterations)", nb.name)
 		}
 		rec := benchRecord{
 			Name:        nb.name,
@@ -673,7 +685,15 @@ func emitJSON(path string) error {
 		}
 		snap.Benchmarks = append(snap.Benchmarks, rec)
 	}
+	return snap, nil
+}
 
+// emitJSON runs the suite and writes the snapshot to path.
+func emitJSON(path string) error {
+	snap, err := runSuite()
+	if err != nil {
+		return err
+	}
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -684,4 +704,66 @@ func emitJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, out, 0o644)
+}
+
+// nsFloor is the ns/op below which -check ignores relative time
+// regressions: at single-digit nanoseconds the relative error of a
+// shared CI runner exceeds any tolerance worth gating on.
+const nsFloor = 20.0
+
+// checkAgainst runs the suite fresh and compares it to the baseline
+// snapshot at path. Time regressions beyond tol (fractional) fail
+// unless both sides sit under nsFloor; any increase in allocs/op fails
+// regardless of tolerance — the zero-allocation claim of the compiled
+// cast path is exact, not statistical. Benchmarks present in the
+// baseline but missing from the suite fail (a silently dropped
+// measurement is itself a regression); new benchmarks pass unchecked.
+// Custom metrics (vpause-ns/op) are reported but not gated: they
+// measure virtual time, which the differential tests pin exactly.
+func checkAgainst(path string, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	snap, err := runSuite()
+	if err != nil {
+		return err
+	}
+	current := map[string]benchRecord{}
+	for _, r := range snap.Benchmarks {
+		current[r.Name] = r
+	}
+	var failures []string
+	for _, b := range base.Benchmarks {
+		r, ok := current[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline, missing from suite", b.Name))
+			continue
+		}
+		if r.AllocsPerOp > b.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d -> %d (alloc regressions are always fatal)",
+				b.Name, b.AllocsPerOp, r.AllocsPerOp))
+		}
+		limit := b.NsPerOp * (1 + tol)
+		if r.NsPerOp > limit && !(r.NsPerOp < nsFloor && b.NsPerOp < nsFloor) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.1f -> %.1f (limit %.1f at tol %.0f%%)",
+				b.Name, b.NsPerOp, r.NsPerOp, limit, tol*100))
+		} else {
+			fmt.Fprintf(os.Stderr, "ok %s: ns/op %.1f -> %.1f, allocs %d -> %d\n",
+				b.Name, b.NsPerOp, r.NsPerOp, b.AllocsPerOp, r.AllocsPerOp)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(failures), path)
+	}
+	fmt.Fprintf(os.Stderr, "bench check passed: %d benchmarks within tolerance of %s\n",
+		len(base.Benchmarks), path)
+	return nil
 }

@@ -12,15 +12,21 @@
 //     ...); constructing a seeded generator via rand.New/NewSource
 //     stays legal, and methods on a *rand.Rand are untouched;
 //   - bare go statements, which escape the run-to-completion
-//     event-queue model of paper §3/§10.
+//     event-queue model of paper §3/§10;
+//   - sync.Pool, whose reuse order depends on GC timing and scheduler
+//     interleaving — pooled storage in sim-driven code is only sound
+//     when buffer provenance is behaviour-transparent, which the §10
+//     message pool is and arbitrary pools are not.
 //
 // The packages that genuinely bridge to the real world — udpnet, the
 // chaosnet proxy, netsim's real-time transport, sched's wall-clock
 // waits — opt out per file with a "//horus:wallclock — <reason>"
-// marker in the file header. The marker must sit at the top of the
-// file (package clause or above), so an exemption is visible before
-// any code and a new escape cannot hide behind an old annotation
-// elsewhere in the package.
+// marker in the file header. Deliberately transparent pools (the §10
+// message buffer pool) declare it with "//horus:pool — <reason>" the
+// same way. Markers must sit at the top of the file (package clause
+// or above), so an exemption is visible before any code and a new
+// escape cannot hide behind an old annotation elsewhere in the
+// package.
 package detlint
 
 import (
@@ -35,13 +41,19 @@ import (
 // Analyzer is the detlint pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "detlint",
-	Doc: "forbid wall-clock time, global math/rand and bare goroutines " +
-		"in sim-driven packages (file opt-out: //horus:wallclock)",
+	Doc: "forbid wall-clock time, global math/rand, bare goroutines and " +
+		"undeclared sync.Pool use in sim-driven packages (file opt-outs: " +
+		"//horus:wallclock, //horus:pool)",
 	Run: run,
 }
 
-// wallclockTag is the file-level opt-out marker.
-const wallclockTag = "wallclock"
+// wallclockTag is the file-level opt-out marker for real-world bridge
+// code; poolTag is the narrower declaration that a file's sync.Pool
+// use is behaviour-transparent (buffer provenance never observable).
+const (
+	wallclockTag = "wallclock"
+	poolTag      = "pool"
+)
 
 // scopePrefix limits the analyzer to the module's internal tree; cmd/
 // and examples/ are wall-clock programs by nature.
@@ -75,6 +87,7 @@ func run(pass *analysis.Pass) error {
 		if annot.FileMarker(file, wallclockTag) {
 			continue
 		}
+		poolDeclared := annot.FileMarker(file, poolTag)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
@@ -83,7 +96,7 @@ func run(pass *analysis.Pass) error {
 						"post to the endpoint executor or a sched primitive instead "+
 						"(//horus:wallclock opts the file out)")
 			case *ast.SelectorExpr:
-				checkSelector(pass, n)
+				checkSelector(pass, n, poolDeclared)
 			}
 			return true
 		})
@@ -91,10 +104,20 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkSelector flags uses of banned package-level functions. Working
-// on selector uses (not just calls) also catches escapes passed as
-// function values, e.g. `clock := time.Now`.
-func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+// checkSelector flags uses of banned package-level functions and
+// undeclared sync.Pool storage. Working on selector uses (not just
+// calls) also catches escapes passed as function values, e.g.
+// `clock := time.Now`.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr, poolDeclared bool) {
+	if tn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); ok {
+		if !poolDeclared && tn.Pkg() != nil && tn.Pkg().Path() == "sync" && tn.Name() == "Pool" {
+			pass.Reportf(sel.Pos(),
+				"sync.Pool reuse order depends on GC timing; pooled storage in "+
+					"sim-driven code must be behaviour-transparent — declare it with "+
+					"a //horus:pool file marker or keep buffers unpooled")
+		}
+		return
+	}
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return

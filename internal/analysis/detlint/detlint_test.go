@@ -11,6 +11,7 @@ func TestDetLint(t *testing.T) {
 	analysistest.Run(t, detlint.Analyzer,
 		"horus/internal/layers/detfixture",
 		"horus/internal/layers/detwallclock",
+		"horus/internal/layers/detpool",
 		"outsider",
 	)
 }

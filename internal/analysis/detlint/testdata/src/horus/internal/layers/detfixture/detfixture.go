@@ -5,8 +5,13 @@ package detfixture
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 )
+
+// buffers is an undeclared pool in sim-driven code: reuse order depends
+// on GC timing, and no //horus:pool marker vouches for transparency.
+var buffers sync.Pool // want `sync\.Pool reuse order depends on GC timing`
 
 func flagged() {
 	_ = time.Now()                 // want `wall clock escape: time\.Now`
@@ -18,6 +23,9 @@ func flagged() {
 	_ = rand.Intn(4)      // want `global rand\.Intn`
 	rand.Shuffle(1, swap) // want `global rand\.Shuffle`
 	go flagged()          // want `bare goroutine`
+	_ = buffers.Get()
+	local := sync.Pool{New: func() interface{} { return nil }} // want `sync\.Pool reuse order depends on GC timing`
+	_ = local
 }
 
 func accepted() {

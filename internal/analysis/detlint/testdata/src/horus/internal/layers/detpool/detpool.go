@@ -1,0 +1,18 @@
+//horus:pool — fixture: stands in for the §10 message buffer pool, whose
+// reuse is behaviour-transparent (content never depends on provenance)
+package detpool
+
+import "sync"
+
+// recycled is legal here: the file-level //horus:pool marker above the
+// package clause declares the pool behaviour-transparent, the way
+// message/pool.go does for the compiled cast path's buffers. The
+// marker exempts only the sync.Pool rule — the wall-clock and bare-
+// goroutine rules still apply to this file.
+var recycled = sync.Pool{New: func() interface{} { return new([64]byte) }}
+
+// Borrow hands out a pooled buffer.
+func Borrow() *[64]byte { return recycled.Get().(*[64]byte) }
+
+// Return recycles it.
+func Return(b *[64]byte) { recycled.Put(b) }

@@ -15,8 +15,10 @@ import (
 	"time"
 
 	"horus/internal/core"
+	"horus/internal/layers/chksum"
 	"horus/internal/layers/com"
 	"horus/internal/layers/frag"
+	"horus/internal/layers/hbeat"
 	"horus/internal/layers/mbrship"
 	"horus/internal/layers/nak"
 	"horus/internal/layers/switchp"
@@ -41,6 +43,22 @@ type NopLayer struct{ core.Base }
 
 // Name implements core.Layer.
 func (n *NopLayer) Name() string { return "NOP" }
+
+// Transparent implements core.Skipper: a no-op layer is by definition
+// transparent to every event in both directions, so the stack's skip
+// tables route traffic straight past it. This is what the paper's §10
+// item 1 promises for layers that take no action — the boundary
+// crossing disappears entirely rather than costing an indirect call.
+func (n *NopLayer) Transparent(t core.EventType, down bool) bool { return true }
+
+// OpaqueNopLayer is a pass-through layer that does NOT declare
+// transparency: every event pays the full indirect-call boundary
+// crossing. It is the control in the layer-skipping and layer-crossing
+// ablations — what every no-op layer cost before §10 item 1.
+type OpaqueNopLayer struct{ core.Base }
+
+// Name implements core.Layer.
+func (o *OpaqueNopLayer) Name() string { return "ONOP" }
 
 // SinkLayer terminates the stack without a network, counting what
 // reaches it.
@@ -89,7 +107,10 @@ func (c *countLayer) Up(ev *core.Event) {
 
 // LayerCrossing measures the cost of pushing a cast through depth
 // no-op layers — the paper's claim that "the cost of a layer can be as
-// low as just a few instructions at runtime".
+// low as just a few instructions at runtime". Since the no-op layers
+// declare transparency, the skip tables collapse the traversal to a
+// single jump regardless of depth; the pre-§10 per-boundary cost is
+// pinned by BenchmarkLayerSkipping's opaque control.
 func LayerCrossing(depth int) func(*testing.B) {
 	return func(b *testing.B) {
 		net := netsim.New(netsim.Config{Seed: 1})
@@ -115,6 +136,60 @@ func LayerCrossing(depth int) func(*testing.B) {
 		})
 		if sink.Count != b.N {
 			b.Fatalf("sink saw %d of %d", sink.Count, b.N)
+		}
+	}
+}
+
+// nullTransport swallows wire bytes: it isolates stack traversal cost
+// from fabric cost (netsim allocates per delivered packet, which would
+// mask the compiled path's zero-allocation claim).
+type nullTransport struct{}
+
+func (nullTransport) Send(from core.EndpointID, group core.GroupAddr, dests []core.EndpointID, wire []byte) {
+}
+func (nullTransport) SetTimer(d time.Duration, fn func()) (cancel func()) { return func() {} }
+func (nullTransport) Now() time.Duration                                  { return 0 }
+
+// CompiledCast measures the §10 compiled send plan end to end on a
+// fully compilable stack (HBEAT:CHKSUM:COM) over a null transport,
+// with pooled message buffers: the fast variant must run at zero
+// allocations per cast in steady state, the ref variant pins the
+// per-layer push/pop path for comparison.
+func CompiledCast(fast bool) func(*testing.B) {
+	return func(b *testing.B) {
+		ep := core.NewEndpoint(core.EndpointID{Site: "bench", Birth: 1}, nullTransport{})
+		ep.SetFastPath(fast)
+		spec := core.StackSpec{hbeat.New, chksum.New, com.New}
+		g, err := ep.Join("bench", spec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !g.Stack().HasCastPlan() {
+			b.Fatal("stack did not compile a cast plan")
+		}
+		body := make([]byte, 64)
+		ev := &core.Event{Type: core.DCast}
+		b.ReportAllocs()
+		b.ResetTimer()
+		ep.Do(func() {
+			for i := 0; i < b.N; i++ {
+				ev.Msg = message.Get(body)
+				g.Stack().Down(ev)
+				if !fast {
+					// The reference path does not consume the message;
+					// recycle it by hand to keep the comparison about
+					// traversal cost, not pool discipline.
+					ev.Msg.Release()
+				}
+			}
+		})
+		b.StopTimer()
+		stats := g.Stack().PlanStats()
+		if fast && stats.Fast != uint64(b.N) {
+			b.Fatalf("fast path ran %d of %d casts", stats.Fast, b.N)
+		}
+		if !fast && stats.Fast != 0 {
+			b.Fatalf("reference run leaked %d casts onto the fast path", stats.Fast)
 		}
 	}
 }

@@ -26,6 +26,18 @@ type Endpoint struct {
 	malformed int
 
 	trace func(format string, args ...interface{})
+
+	// slowPath pins every stack of this endpoint to the per-layer
+	// reference path (zero value: compiled cast plans are used where
+	// they exist). Read on the event queue per cast; set it before
+	// traffic flows, or from within Do.
+	slowPath bool
+
+	// wireTap observes every transmission (both the compiled and the
+	// reference send path) before it reaches the transport. The wire
+	// slice may alias a reused buffer: taps that retain bytes must
+	// copy. Same setting discipline as slowPath.
+	wireTap func(dests []EndpointID, wire []byte)
 }
 
 // NewEndpoint creates an endpoint with the given identity on top of a
@@ -44,6 +56,19 @@ func (e *Endpoint) ID() EndpointID { return e.id }
 // SetTrace installs a trace hook receiving layer diagnostics. Pass nil
 // to disable.
 func (e *Endpoint) SetTrace(fn func(format string, args ...interface{})) { e.trace = fn }
+
+// SetFastPath selects between the compiled cast plan (true, the
+// default) and the per-layer reference path (false) for every stack of
+// this endpoint. The differential suite runs identical schedules both
+// ways and demands byte-identical wire output; applications never need
+// to call this.
+func (e *Endpoint) SetFastPath(enabled bool) { e.slowPath = !enabled }
+
+// SetWireTap installs a hook observing every outgoing wire image with
+// its destination set, regardless of which send path produced it. The
+// wire slice may alias a reused buffer — copy to retain. Pass nil to
+// disable.
+func (e *Endpoint) SetWireTap(fn func(dests []EndpointID, wire []byte)) { e.wireTap = fn }
 
 func (e *Endpoint) tracef(format string, args ...interface{}) {
 	if e.trace != nil {

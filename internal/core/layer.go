@@ -109,8 +109,20 @@ func (c *Context) Up(ev *Event) {
 // Transmit hands wire bytes for msg to the transport, addressed to
 // dests. Only the bottom (COM) layer calls this.
 func (c *Context) Transmit(dests []EndpointID, msg *message.Message) {
+	c.TransmitWire(dests, msg.Marshal())
+}
+
+// TransmitWire hands an already-rendered wire image to the transport.
+// The compiled cast plan calls this with its scratch buffer; per the
+// Transport.Send contract the transport must not retain wire after the
+// call returns. The endpoint's wire tap, if any, observes every
+// transmission here — both paths, both fabrics.
+func (c *Context) TransmitWire(dests []EndpointID, wire []byte) {
 	ep := c.stack.group.ep
-	ep.transport.Send(ep.id, c.stack.group.addr, dests, msg.Marshal())
+	if ep.wireTap != nil {
+		ep.wireTap(dests, wire)
+	}
+	ep.transport.Send(ep.id, c.stack.group.addr, dests, wire)
 }
 
 // SetTimer schedules fn to run after d on the endpoint's event queue.

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"horus/internal/message"
 )
 
 // SubStack is a privately owned run of layers living inside a single
@@ -30,6 +32,7 @@ type SubStack struct {
 	layers   []Layer
 	top      func(*Event)
 	bottom   func(*Event)
+	plan     *castPlan
 	detached bool
 }
 
@@ -71,11 +74,49 @@ func (c *Context) NewSubStack(spec StackSpec, top, bottom func(*Event)) (*SubSta
 			return nil, fmt.Errorf("init segment layer %d (%s): %w", i, l.Name(), err)
 		}
 	}
+	// Segments get their own compiled cast plan (plan.go): the flat
+	// image of the segment's headers is materialized back into a
+	// Message at the fence, because the host's bottom hook — and the
+	// outer layers under it — speak the per-layer interface. A swap
+	// builds a fresh SubStack, so the plan is re-derived for the new
+	// segment and the retired plan dies behind the detach fence: epoch
+	// change IS plan invalidation.
+	ss.plan = compileCastPlan(ss.layers, func(ev *Event, wire []byte) {
+		m, err := message.Unmarshal(wire)
+		if err != nil {
+			// Unreachable: the plan built the wire image itself.
+			panic(fmt.Sprintf("substack: compiled wire image unparseable: %v", err))
+		}
+		ev.Msg = m
+		ss.bottom(ev)
+	})
 	return ss, nil
 }
 
-// Down injects ev at the top of the segment.
-func (ss *SubStack) Down(ev *Event) { ss.down(0, ev) }
+// Down injects ev at the top of the segment, through the compiled plan
+// when one exists and accepts the cast.
+func (ss *SubStack) Down(ev *Event) {
+	if ss.detached {
+		return
+	}
+	if ev.Type == DCast && ss.plan != nil && !ss.host.stack.group.ep.slowPath {
+		if ss.plan.execute(ev) {
+			return
+		}
+	}
+	ss.down(0, ev)
+}
+
+// HasCastPlan reports whether the segment compiled into a cast plan.
+func (ss *SubStack) HasCastPlan() bool { return ss.plan != nil }
+
+// PlanStats snapshots the segment's fast-path counters.
+func (ss *SubStack) PlanStats() PlanStats {
+	if ss.plan == nil {
+		return PlanStats{}
+	}
+	return ss.plan.stats
+}
 
 // Up injects ev at the bottom of the segment.
 func (ss *SubStack) Up(ev *Event) { ss.up(len(ss.layers) - 1, ev) }

@@ -13,7 +13,11 @@ type Transport interface {
 	// Send transmits wire bytes from the given endpoint to each
 	// destination, best effort. An empty dests slice means "all
 	// endpoints attached to the group address" (used before any view
-	// is known, e.g. by merge discovery).
+	// is known, e.g. by merge discovery). The transport must not
+	// retain wire after Send returns: the compiled cast fast path
+	// passes a per-stack scratch buffer that is overwritten by the
+	// next cast. Both fabrics honour this — netsim copies per
+	// delivery, udpnet encodes into a fresh datagram.
 	Send(from EndpointID, group GroupAddr, dests []EndpointID, wire []byte)
 
 	// SetTimer schedules fn after d. The returned function cancels the

@@ -157,6 +157,28 @@ func (f *Frag) Up(ev *core.Event) {
 	}
 }
 
+// CompileCast implements core.CastCompiler for the single-fragment
+// case. FRAG is a rewrap layer: the reference path marshals the whole
+// message and wraps it in a fresh one, so the compiled frame folds the
+// accumulated header into the body behind an engine-written length
+// prefix, and FRAG's own header is the one-byte more-bit. The Fits
+// gate reproduces the `len(wire) <= f.max` test against the would-be
+// marshalled size; oversized casts fall back to the reference path and
+// split there.
+func (f *Frag) CompileCast() (core.CompiledCast, bool) {
+	return core.CompiledCast{
+		Width:  1,
+		Rewrap: true,
+		Fits: func(hdrLen, bodyLen int) bool {
+			return 4+hdrLen+bodyLen <= f.max
+		},
+		Fill: func(fr *core.CastFrame) {
+			fr.Own[0] = lastFragment
+			f.stats.Fragments++
+		},
+	}, true
+}
+
 func (f *Frag) bufFor(ev *core.Event) map[core.EndpointID][]byte {
 	if ev.Type == core.UCast {
 		return f.cast

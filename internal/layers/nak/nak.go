@@ -21,6 +21,7 @@
 package nak
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"time"
@@ -229,8 +230,15 @@ func (n *Nak) uniOutFor(dst core.EndpointID) *outStream {
 // ("will retransmit if the message is still buffered. If not, it will
 // send a place holder", §7).
 func (o *outStream) assign(m *message.Message) uint64 {
+	return o.assignOwned(m.Clone())
+}
+
+// assignOwned is assign for a copy the caller already owns outright —
+// the compiled cast path builds the retained copy straight from its
+// flat frame instead of cloning a Message it never materialized.
+func (o *outStream) assignOwned(m *message.Message) uint64 {
 	o.next++
-	o.buf[o.next] = m.Clone()
+	o.buf[o.next] = m
 	retain := o.retain
 	if retain <= 0 {
 		retain = defaultRetainBufferN
@@ -245,6 +253,23 @@ func (o *outStream) assign(m *message.Message) uint64 {
 		}
 	}
 	return o.next
+}
+
+// CompileCast implements core.CastCompiler. The cast header is a fixed
+// 9 bytes — [kindData][seq u64] — and the only side effect is the
+// retransmission buffer: the Fill hook retains a Message rebuilt from
+// the frame's header/body split, exactly what the reference path's
+// Clone would have captured at this position in the stack.
+func (n *Nak) CompileCast() (core.CompiledCast, bool) {
+	return core.CompiledCast{
+		Width: 9,
+		Fill: func(f *core.CastFrame) {
+			seq := n.castOut.assignOwned(message.FromParts(f.Hdr, f.Body))
+			f.Own[0] = kindData
+			binary.BigEndian.PutUint64(f.Own[1:], seq)
+			n.stats.DataSent++
+		},
+	}, true
 }
 
 // Up implements core.Layer.

@@ -2,6 +2,9 @@ package message
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -46,6 +49,193 @@ func FuzzPushPop(f *testing.F) {
 		}
 		if m.HeaderLen() != 0 {
 			t.Fatal("residual header")
+		}
+	})
+}
+
+// FuzzCompactLayout differentially tests the §10 compacted header
+// against the per-layer push/pop path it replaces: for arbitrary field
+// widths and values, fields set through the bit-packed layout must read
+// back exactly what a word-aligned push/pop of the same values carries,
+// fields must not overlap, the attach/detach message round trip must be
+// lossless, and the compact form must never be larger than the aligned
+// form whose padding overhead the paper calls out.
+func FuzzCompactLayout(f *testing.F) {
+	f.Add([]byte{8, 1, 64, 13}, int64(1))
+	f.Add([]byte{32, 32}, int64(42))
+	f.Add([]byte{1}, int64(-7))
+	f.Fuzz(func(t *testing.T, widths []byte, vseed int64) {
+		if len(widths) == 0 {
+			return
+		}
+		if len(widths) > 12 {
+			widths = widths[:12]
+		}
+		fields := make([]Field, len(widths))
+		for i, w := range widths {
+			fields[i] = Field{Layer: "FUZZ", Name: fmt.Sprintf("f%d", i), Bits: int(w%64) + 1}
+		}
+		layout, err := NewLayout(fields)
+		if err != nil {
+			t.Fatalf("valid widths rejected: %v", err)
+		}
+
+		rng := rand.New(rand.NewSource(vseed))
+		want := make([]uint64, len(fields))
+		h := NewCompactHeader(layout)
+		for i := range fields {
+			v := rng.Uint64()
+			mask := ^uint64(0) >> uint(64-fields[i].Bits)
+			want[i] = v & mask
+			h.Set(i, v)
+		}
+		// Overwrite a random subset; fields are bit-packed with no
+		// padding, so any overlap in the offsets corrupts a neighbour.
+		for i := range fields {
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				want[i] = v & (^uint64(0) >> uint(64-fields[i].Bits))
+				h.Set(i, v)
+			}
+		}
+		for i := range fields {
+			if got := h.Get(i); got != want[i] {
+				t.Fatalf("field %d (%d bits): got %#x want %#x", i, fields[i].Bits, got, want[i])
+			}
+		}
+
+		// Push/pop reference: the same values carried as word-aligned
+		// per-layer headers must pop back identically, and must cost at
+		// least as many bytes as the compacted block.
+		ref := New(nil)
+		for i := len(fields) - 1; i >= 0; i-- {
+			var enc [8]byte
+			binary.BigEndian.PutUint64(enc[:], want[i])
+			ref.PushAligned(enc[:])
+		}
+		alignedLen := ref.HeaderLen()
+		for i := range fields {
+			got := binary.BigEndian.Uint64(ref.PopAligned(8))
+			if got != want[i] {
+				t.Fatalf("push/pop reference field %d: got %#x want %#x", i, got, want[i])
+			}
+		}
+		if layout.Size() > alignedLen {
+			t.Fatalf("compact header %dB larger than aligned reference %dB", layout.Size(), alignedLen)
+		}
+
+		// Message attach/detach round trip must be lossless and must
+		// leave the header stack balanced.
+		m := New([]byte("body"))
+		m.PushUint32(0xCAFE) // pre-existing lower-layer header survives
+		h.AttachTo(m)
+		got := DetachFrom(m, layout)
+		for i := range fields {
+			if got.Get(i) != want[i] {
+				t.Fatalf("detached field %d: got %#x want %#x", i, got.Get(i), want[i])
+			}
+		}
+		if v := m.PopUint32(); v != 0xCAFE {
+			t.Fatalf("attach/detach disturbed lower header: %#x", v)
+		}
+		if m.HeaderLen() != 0 {
+			t.Fatal("residual header after detach")
+		}
+	})
+}
+
+// mustPanicMsg runs fn and fails the test unless it panics; pooled-
+// buffer misuse (double put, use after put) must fail at the offending
+// call site, never corrupt a later cast silently.
+func mustPanicMsg(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// FuzzPooledLifecycle drives a pooled message and a heap-allocated
+// shadow through the same arbitrary operation sequence. The pool's
+// contract (//horus:pool) is that buffer provenance is behaviourally
+// invisible: both messages must marshal identically — including after
+// growth beyond the pooled headroom — and every misuse after release
+// must panic.
+func FuzzPooledLifecycle(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4}, []byte("payload"))
+	f.Add([]byte{3, 3, 3, 5, 5}, []byte{})
+	f.Add([]byte{4, 0, 4, 0}, []byte{0xFF})
+	f.Fuzz(func(t *testing.T, ops []byte, body []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		m := Get(body)
+		shadow := New(body)
+		if !m.Pooled() {
+			t.Fatal("Get returned an unpooled message")
+		}
+		big := make([]byte, 96) // one push of this forces growth past defaultHeadroom
+		for i, op := range ops {
+			switch op % 6 {
+			case 0:
+				m.PushUint8(op)
+				shadow.PushUint8(op)
+			case 1:
+				m.PushUint32(uint32(i)<<8 | uint32(op))
+				shadow.PushUint32(uint32(i)<<8 | uint32(op))
+			case 2:
+				m.PushUint64(uint64(op) * 0x0101010101)
+				shadow.PushUint64(uint64(op) * 0x0101010101)
+			case 3:
+				m.PushBytes(big[:int(op)%len(big)])
+				shadow.PushBytes(big[:int(op)%len(big)])
+			case 4:
+				// Grow-while-pooled: the enlarged buffer must stay
+				// coherent and follow the message back into the pool.
+				m.Push(big)
+				shadow.Push(big)
+			case 5:
+				if m.HeaderLen() >= 4 {
+					a, b := m.PopUint32(), shadow.PopUint32()
+					if a != b {
+						t.Fatalf("op %d: pooled pop %#x, shadow pop %#x", i, a, b)
+					}
+				}
+			}
+			if m.HeaderLen() != shadow.HeaderLen() {
+				t.Fatalf("op %d: header length diverged: %d vs %d", i, m.HeaderLen(), shadow.HeaderLen())
+			}
+		}
+		if !bytes.Equal(m.Marshal(), shadow.Marshal()) {
+			t.Fatal("pooled and heap-allocated messages marshalled differently")
+		}
+		if !Equal(m, shadow) {
+			t.Fatal("pooled and heap-allocated messages diverged")
+		}
+
+		m.Release()
+		if m.Pooled() {
+			t.Fatal("message still reports pooled after release")
+		}
+		mustPanicMsg(t, "use after put (push)", func() { m.PushUint8(1) })
+		mustPanicMsg(t, "use after put (marshal)", func() { _ = m.Marshal() })
+		mustPanicMsg(t, "use after put (body)", func() { _ = m.Body() })
+		mustPanicMsg(t, "double put", func() { m.Release() })
+
+		// A fresh Get must hand out a clean message regardless of what
+		// the released one looked like.
+		n := Get(body)
+		if n.HeaderLen() != 0 || !bytes.Equal(n.Body(), body) {
+			t.Fatalf("recycled message not clean: hdr=%d", n.HeaderLen())
+		}
+		n.Release()
+
+		// Releasing a non-pooled message is a documented no-op.
+		shadow.Release()
+		if shadow.HeaderLen() < 0 {
+			t.Fatal("unreachable")
 		}
 	})
 }

@@ -31,6 +31,9 @@ type Message struct {
 	buf  []byte // header storage; live header bytes are buf[off:]
 	off  int    // start of live header data within buf
 	body []byte // payload, referenced without copying until Marshal
+
+	pooled bool // obtained from the pool (see pool.go)
+	dead   bool // released back to the pool; any further use panics
 }
 
 // New returns a message whose payload references body without copying.
@@ -49,10 +52,17 @@ func NewWithHeadroom(headroom int, body []byte) *Message {
 }
 
 // Body returns the payload. The returned slice is shared, not copied.
-func (m *Message) Body() []byte { return m.body }
+func (m *Message) Body() []byte { m.live(); return m.body }
 
 // SetBody replaces the payload reference.
-func (m *Message) SetBody(body []byte) { m.body = body }
+func (m *Message) SetBody(body []byte) { m.live(); m.body = body }
+
+// Header returns the pushed header bytes, front first. The returned
+// slice aliases the message's internal buffer and is invalidated by the
+// next push or pop; callers must treat it as read-only. The compiled
+// cast plan uses it to copy the application's header into the flat wire
+// image in one operation.
+func (m *Message) Header() []byte { m.live(); return m.buf[m.off:] }
 
 // HeaderLen returns the number of pushed header bytes not yet popped.
 func (m *Message) HeaderLen() int { return len(m.buf) - m.off }
@@ -62,6 +72,7 @@ func (m *Message) Len() int { return m.HeaderLen() + len(m.body) }
 
 // grow reallocates buf so that at least n more bytes can be pushed.
 func (m *Message) grow(n int) {
+	m.live()
 	need := n - m.off
 	if need <= 0 {
 		return
@@ -90,6 +101,7 @@ func (m *Message) Push(b []byte) {
 // are present — a protocol layer popping a header that was never pushed
 // is a programming error, not a runtime condition.
 func (m *Message) Pop(n int) []byte {
+	m.live()
 	if m.HeaderLen() < n {
 		panic(fmt.Sprintf("message: pop %d bytes, only %d header bytes present", n, m.HeaderLen()))
 	}
@@ -185,6 +197,7 @@ func (m *Message) PopAligned(n int) []byte {
 // that "the message object that is sent is different from the message
 // object that is delivered" (§3).
 func (m *Message) Clone() *Message {
+	m.live()
 	hdr := m.buf[m.off:]
 	buf := make([]byte, defaultHeadroom+len(hdr))
 	copy(buf[defaultHeadroom:], hdr)
@@ -196,12 +209,28 @@ func (m *Message) Clone() *Message {
 // Marshal renders the message to its wire format: a 32-bit header
 // length, the header bytes, then the body.
 func (m *Message) Marshal() []byte {
+	m.live()
 	hdr := m.buf[m.off:]
 	out := make([]byte, 4+len(hdr)+len(m.body))
 	binary.BigEndian.PutUint32(out, uint32(len(hdr)))
 	copy(out[4:], hdr)
 	copy(out[4+len(hdr):], m.body)
 	return out
+}
+
+// FromParts builds a message from explicit header and body bytes, both
+// copied. It reconstructs exactly what a receiving layer would see: a
+// message whose pushed headers are hdr (front first) over payload body.
+// The compiled cast plan uses it wherever a layer must retain a copy of
+// the message as it received it (NAK's retransmission buffer, MBRSHIP's
+// delivery log) without materializing an intermediate Message on the
+// hot path.
+func FromParts(hdr, body []byte) *Message {
+	buf := make([]byte, defaultHeadroom+len(hdr))
+	copy(buf[defaultHeadroom:], hdr)
+	b := make([]byte, len(body))
+	copy(b, body)
+	return &Message{buf: buf, off: defaultHeadroom, body: b}
 }
 
 // Unmarshal parses a wire-format buffer produced by Marshal into a new
