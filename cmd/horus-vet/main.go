@@ -1,30 +1,44 @@
 // Command horus-vet is the multichecker for the repo's own static
 // analysis suite: it loads the packages matched by its arguments
-// (default ./..., including test files) and applies the three
+// (default ./..., including test files) and applies the five
 // analyzers under internal/analysis —
 //
 //	stackcheck  Table 3 well-formedness of constant stack literals
-//	detlint     determinism contract of sim-driven packages
+//	detlint     determinism contract of sim-driven packages, including
+//	            wall-clock reads laundered through call chains
 //	hcpilint    HCPI discipline: locks vs upcalls, header direction
+//	purecast    §10 fast-path purity: Ready/Fits/WidthFn hooks must be
+//	            side-effect-free through arbitrary call depth
+//	ownlint     pooled message ownership: use-after-release, double
+//	            release, retained escapes
 //
 // Diagnostics print one per line, go-vet style; the exit status is 1
-// when anything was found, 2 on a load failure, 0 when clean. CI runs
-// `go run ./cmd/horus-vet ./...` as a gating step; see DESIGN.md for
-// the annotation contract (//horus:wallclock and friends).
+// when anything was found, 2 on a load failure, 0 when clean. -json
+// additionally emits the findings machine-readably (file, line,
+// analyzer, message, call chain) for the CI artifact; -budget fails
+// the run when analysis wall time exceeds the bound, so the
+// interprocedural passes cannot silently make CI crawl. CI runs
+// horus-vet as a gating step; see DESIGN.md for the annotation
+// contract (//horus:wallclock, //horus:pure-ok, //horus:own-ok and
+// friends).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"horus/internal/analysis"
 	"horus/internal/analysis/detlint"
 	"horus/internal/analysis/hcpilint"
 	"horus/internal/analysis/load"
+	"horus/internal/analysis/ownlint"
+	"horus/internal/analysis/purecast"
 	"horus/internal/analysis/stackcheck"
 )
 
@@ -33,11 +47,25 @@ var suite = []*analysis.Analyzer{
 	stackcheck.Analyzer,
 	detlint.Analyzer,
 	hcpilint.Analyzer,
+	purecast.Analyzer,
+	ownlint.Analyzer,
+}
+
+// finding is one diagnostic in both the text and the -json streams.
+type finding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
 }
 
 func main() {
 	tests := flag.Bool("tests", true, "analyze test files too")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.String("json", "", `write machine-readable findings to this file ("-" = stdout)`)
+	budget := flag.Duration("budget", 0, "fail when analysis wall time exceeds this bound (0 = no bound)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: horus-vet [flags] [package patterns]\n\nanalyzers:\n")
 		for _, a := range suite {
@@ -56,15 +84,31 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := vet(os.Stdout, load.Config{Tests: *tests}, analyzers, patterns)
+	start := time.Now()
+	findings, err := vet(os.Stdout, load.Config{Tests: *tests}, analyzers, patterns)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "horus-vet:", err)
 		os.Exit(2)
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "horus-vet: %d finding(s)\n", n)
-		os.Exit(1)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "horus-vet:", err)
+			os.Exit(2)
+		}
 	}
+	exit := 0
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "horus-vet: %d finding(s)\n", len(findings))
+		exit = 1
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "horus-vet: analysis took %s, over the -budget bound %s — "+
+			"an interprocedural pass has regressed; profile before raising the bound\n",
+			elapsed.Round(time.Millisecond), *budget)
+		exit = 1
+	}
+	os.Exit(exit)
 }
 
 // selectAnalyzers resolves a comma-separated -run list against the
@@ -89,23 +133,22 @@ func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
 }
 
 // vet loads the patterns, applies the analyzers to every unit, prints
-// sorted diagnostics to w, and returns how many it found. Type-check
-// problems in loaded code are findings too: analysis over a package
-// that does not compile cannot be trusted, and `go build` gates CI
-// anyway.
-func vet(w io.Writer, cfg load.Config, analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+// sorted diagnostics to w, and returns the deduplicated findings.
+// Type-check problems in loaded code are findings too: analysis over a
+// package that does not compile cannot be trusted, and `go build`
+// gates CI anyway.
+func vet(w io.Writer, cfg load.Config, analyzers []*analysis.Analyzer, patterns []string) ([]finding, error) {
 	pkgs, err := load.Load(cfg, patterns...)
 	if err != nil {
-		return 0, err
-	}
-	type finding struct {
-		pos string
-		msg string
+		return nil, err
 	}
 	var findings []finding
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			findings = append(findings, finding{pos: pkg.PkgPath, msg: fmt.Sprintf("type error: %v", terr)})
+			findings = append(findings, finding{
+				File: pkg.PkgPath, Analyzer: "load",
+				Message: fmt.Sprintf("type error: %v", terr),
+			})
 		}
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
@@ -116,34 +159,69 @@ func vet(w io.Writer, cfg load.Config, analyzers []*analysis.Analyzer, patterns 
 				TypesInfo: pkg.Info,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
 				findings = append(findings, finding{
-					pos: pkg.Fset.Position(d.Pos).String(),
-					msg: fmt.Sprintf("%s (%s)", d.Message, d.Analyzer),
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message, Chain: d.Chain,
 				})
 			}
 			if err := a.Run(pass); err != nil {
-				return len(findings), fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+				return findings, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].pos != findings[j].pos {
-			return findings[i].pos < findings[j].pos
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		return findings[i].msg < findings[j].msg
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
 	})
 	// The "test" unit re-analyzes the package's non-test files, so
 	// identical findings appear once per unit; deduplicate.
 	seen := make(map[string]bool)
-	n := 0
+	out := findings[:0]
 	for _, f := range findings {
-		key := f.pos + "\x00" + f.msg
+		key := fmt.Sprintf("%s:%d:%d\x00%s", f.File, f.Line, f.Col, f.Message)
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		fmt.Fprintf(w, "%s: %s\n", f.pos, f.msg)
-		n++
+		out = append(out, f)
+		fmt.Fprintf(w, "%s: %s (%s)\n", posString(f), f.Message, f.Analyzer)
 	}
-	return n, nil
+	return out, nil
+}
+
+// posString renders a finding's location like go vet: file:line:col,
+// degrading gracefully for package-level (load) findings.
+func posString(f finding) string {
+	if f.Line == 0 {
+		return f.File
+	}
+	return fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col)
+}
+
+// writeJSON emits the findings array ("-" = stdout). An empty run
+// writes [] rather than null so consumers can range unconditionally.
+func writeJSON(path string, findings []finding) error {
+	if findings == nil {
+		findings = []finding{}
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,12 +27,12 @@ var _, _ = stackreg.Build("TOTAL:COM", 1)
 	}
 	var buf bytes.Buffer
 	cfg := load.Config{Overlay: map[string]string{"badmod/bad": dir}}
-	n, err := vet(&buf, cfg, suite, []string{"badmod/bad"})
+	findings, err := vet(&buf, cfg, suite, []string{"badmod/bad"})
 	if err != nil {
 		t.Fatalf("vet: %v", err)
 	}
-	if n != 1 {
-		t.Fatalf("vet found %d findings, want 1\n%s", n, buf.String())
+	if len(findings) != 1 {
+		t.Fatalf("vet found %d findings, want 1\n%s", len(findings), buf.String())
 	}
 	for _, want := range []string{"malformed stack", "TOTAL:COM", "stackcheck"} {
 		if !strings.Contains(buf.String(), want) {
@@ -44,12 +45,86 @@ var _, _ = stackreg.Build("TOTAL:COM", 1)
 // disciplined module package.
 func TestVetCleanPackage(t *testing.T) {
 	var buf bytes.Buffer
-	n, err := vet(&buf, load.Config{Dir: "../.."}, suite, []string{"./internal/property"})
+	findings, err := vet(&buf, load.Config{Dir: "../.."}, suite, []string{"./internal/property"})
 	if err != nil {
 		t.Fatalf("vet: %v", err)
 	}
-	if n != 0 {
-		t.Fatalf("vet found %d findings on internal/property, want 0\n%s", n, buf.String())
+	if len(findings) != 0 {
+		t.Fatalf("vet found %d findings on internal/property, want 0\n%s", len(findings), buf.String())
+	}
+}
+
+// TestVetJSONShape pins the machine-readable stream: an impure
+// compiled-cast hook must surface with file, line, analyzer, message,
+// and the interprocedural chain.
+func TestVetJSONShape(t *testing.T) {
+	dir := t.TempDir()
+	src := `package impure
+
+import "horus/internal/core"
+
+type gate struct{ n int }
+
+func (g *gate) bump() { g.n++ }
+
+func (g *gate) ready(ev *core.Event) bool { g.bump(); return true }
+
+func (g *gate) CompileCast() (core.CompiledCast, bool) {
+	return core.CompiledCast{Width: 1, Ready: g.ready}, true
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "impure.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// The overlay path must sit under horus/internal/ for purecast's
+	// scope check.
+	cfg := load.Config{Dir: "../..", Overlay: map[string]string{"horus/internal/layers/impure": dir}}
+	findings, err := vet(&buf, cfg, suite, []string{"horus/internal/layers/impure"})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	var hit *finding
+	for i := range findings {
+		if findings[i].Analyzer == "purecast" {
+			hit = &findings[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no purecast finding in %v\n%s", findings, buf.String())
+	}
+	if hit.Line == 0 || !strings.HasSuffix(hit.File, "impure.go") {
+		t.Errorf("finding lacks position: %+v", *hit)
+	}
+	if !strings.Contains(hit.Message, "mutates receiver") {
+		t.Errorf("finding message = %q, want a mutates-receiver diagnostic", hit.Message)
+	}
+	if len(hit.Chain) == 0 || !strings.Contains(hit.Chain[0], "bump") {
+		t.Errorf("finding chain = %v, want the (*gate).bump hop", hit.Chain)
+	}
+	data, err := json.Marshal(findings)
+	if err != nil {
+		t.Fatalf("findings do not marshal: %v", err)
+	}
+	for _, key := range []string{`"file"`, `"line"`, `"analyzer"`, `"message"`, `"chain"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON stream missing %s: %s", key, data)
+		}
+	}
+}
+
+// TestWriteJSONEmpty pins that a clean run writes [] rather than null.
+func TestWriteJSONEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.json")
+	if err := writeJSON(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != "[]" {
+		t.Errorf("empty findings serialize as %q, want []", got)
 	}
 }
 
@@ -58,9 +133,11 @@ func TestSelectAnalyzers(t *testing.T) {
 	if err != nil || len(all) != len(suite) {
 		t.Fatalf("empty -run: got %d analyzers, err %v", len(all), err)
 	}
-	one, err := selectAnalyzers("detlint")
-	if err != nil || len(one) != 1 || one[0].Name != "detlint" {
-		t.Fatalf("-run detlint: got %v, err %v", one, err)
+	for _, name := range []string{"stackcheck", "detlint", "hcpilint", "purecast", "ownlint"} {
+		one, err := selectAnalyzers(name)
+		if err != nil || len(one) != 1 || one[0].Name != name {
+			t.Fatalf("-run %s: got %v, err %v", name, one, err)
+		}
 	}
 	if _, err := selectAnalyzers("nosuch"); err == nil {
 		t.Fatal("-run nosuch: expected error")

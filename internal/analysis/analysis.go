@@ -5,7 +5,7 @@
 // a subset of the upstream one: an analyzer written against this
 // package ports to x/tools by changing one import path.
 //
-// Three analyzers live beneath this package and together form the
+// Five analyzers live beneath this package and together form the
 // horus-vet suite (run by cmd/horus-vet, gating in CI):
 //
 //   - stackcheck re-runs the §6 property algebra (Table 3
@@ -15,11 +15,25 @@
 //     of at run time.
 //   - detlint enforces the determinism contract of the sim-driven
 //     packages: no wall-clock reads, no global math/rand, no bare
-//     goroutines outside files annotated //horus:wallclock.
+//     goroutines outside files annotated //horus:wallclock — including
+//     reads laundered through method values, defers, and func-typed
+//     struct fields, traced via the summary engine.
 //   - hcpilint flags HCPI-discipline violations in handlers: invoking
 //     an upcall or callback while a mutex is held (the
 //     callback-while-locked deadlock shape), and header push/pop
 //     traffic flowing against the direction the event is forwarded.
+//   - purecast proves the §10 fast-path purity contract: every
+//     Ready/Fits/WidthFn hook of a compiled cast must be free of side
+//     effects through arbitrary call depth (summary-engine fixpoint),
+//     with the offending statement and call chain in the diagnostic.
+//   - ownlint tracks pooled message ownership path-sensitively:
+//     use-after-Release, double-Release (including branch-divergent
+//     releases), and escapes of a pooled message into retained
+//     storage or a goroutine.
+//
+// The shared interprocedural backbone is internal/analysis/summary: a
+// bottom-up effect-summary engine over the type-resolved call graph of
+// one package unit.
 package analysis
 
 import (
@@ -58,11 +72,15 @@ type Pass struct {
 	Report func(Diagnostic)
 }
 
-// Diagnostic is one finding at one position.
+// Diagnostic is one finding at one position. Chain, when set, is the
+// call path (outermost call first, rendered one hop per element) by
+// which an interprocedural analyzer reached the effect; the -json
+// driver output carries it verbatim.
 type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	Chain    []string
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -27,15 +27,29 @@
 // or above), so an exemption is visible before any code and a new
 // escape cannot hide behind an old annotation elsewhere in the
 // package.
+//
+// The selector check alone has a laundering blind spot: a banned read
+// whose selector sits in an exempt file can flow into non-exempt code
+// through a helper call, a method value, a defer, or a func-typed
+// struct field bound in the exempt file. A second, interprocedural
+// sweep closes it with the effect-summary engine: any function
+// declared in a non-exempt file whose summary carries a wall-clock or
+// global-rand fact originating in an exempt (or test) file is flagged
+// at the call that imports the effect, with the full chain in the
+// diagnostic. Origins in non-exempt files are skipped — the selector
+// check already flags those at the source, and flagging every caller
+// would cascade one escape into dozens of findings.
 package detlint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
 	"horus/internal/analysis"
 	"horus/internal/analysis/annot"
+	"horus/internal/analysis/summary"
 )
 
 // Analyzer is the detlint pass.
@@ -101,7 +115,60 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
+	checkLaundering(pass)
 	return nil
+}
+
+// checkLaundering is the interprocedural sweep: it flags banned
+// effects that reach non-exempt code only through a call chain rooted
+// in an exempt or test file — helper calls, method values, defers,
+// and func-typed struct fields bound in bridge code.
+func checkLaundering(pass *analysis.Pass) {
+	eng := summary.Build(pass, summary.Options{})
+	exemptPos := func(pos token.Pos) bool {
+		if pass.IsTestFile(pos) {
+			return true
+		}
+		f := eng.FileOf(pos)
+		return f != nil && annot.FileMarker(f, wallclockTag)
+	}
+	type reportKey struct {
+		pos    token.Pos
+		detail string
+	}
+	seen := map[reportKey]bool{}
+	for _, n := range eng.Nodes() {
+		if n.File == nil || annot.FileMarker(n.File, wallclockTag) || pass.IsTestFile(n.Pos()) {
+			continue
+		}
+		for _, f := range n.Facts() {
+			if f.Kind != summary.Wallclock && f.Kind != summary.GlobalRand {
+				continue
+			}
+			if len(f.Chain) == 0 || !exemptPos(f.Pos) {
+				continue // direct escapes are the selector check's job
+			}
+			pos := f.Chain[0].Pos
+			key := reportKey{pos: pos, detail: f.Detail}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			what := "wall clock escape"
+			if f.Kind == summary.GlobalRand {
+				what = "nondeterminism escape"
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: pos,
+				Message: what + ": " + f.Detail + " reached via " + eng.FormatChain(f) +
+					" — the call chain launders a banned read out of an exempt file into " +
+					"sim-driven code; take time from the sched/transport virtual clock " +
+					"or mark this file //horus:wallclock",
+				Analyzer: pass.Analyzer.Name,
+				Chain:    eng.ChainStrings(f),
+			})
+		}
+	}
 }
 
 // checkSelector flags uses of banned package-level functions and

@@ -12,6 +12,7 @@ func TestDetLint(t *testing.T) {
 		"horus/internal/layers/detfixture",
 		"horus/internal/layers/detwallclock",
 		"horus/internal/layers/detpool",
+		"horus/internal/layers/detbridge",
 		"outsider",
 	)
 }

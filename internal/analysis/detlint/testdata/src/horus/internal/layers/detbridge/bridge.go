@@ -1,0 +1,36 @@
+// Package detbridge seeds the laundering shapes the interprocedural
+// detlint sweep must catch: this file is the exempt bridge whose
+// banned reads flow into caller.go.
+//
+//horus:wallclock — fixture: deliberate bridge file; every escape here
+// is exercised from the non-exempt caller.go next door.
+package detbridge
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bridge wraps wall-clock access the way udpnet/realtime bridges do.
+type Bridge struct{}
+
+// WallNow is the helper-call shape: a banned read one level down.
+func (b *Bridge) WallNow() time.Time { return time.Now() }
+
+// wallDeep adds a second level for the deep-chain variant.
+func (b *Bridge) wallDeep() time.Time { return b.WallNow() }
+
+// Elapsed launders time.Since.
+func (b *Bridge) Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Draw launders the global rand source.
+func (b *Bridge) Draw() int { return rand.Intn(10) }
+
+// Clock is the func-typed struct field shape: Src is bound to
+// time.Now here, in the exempt file, and invoked from caller.go.
+type Clock struct {
+	Src func() time.Time
+}
+
+// NewClock builds the laundered clock.
+func NewClock() *Clock { return &Clock{Src: time.Now} }

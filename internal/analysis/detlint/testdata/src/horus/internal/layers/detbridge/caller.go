@@ -1,0 +1,47 @@
+// caller.go is NOT exempt: every banned effect it reaches lives in
+// bridge.go (exempt), so only the interprocedural sweep can see these.
+package detbridge
+
+import "time"
+
+// UseHelper is the plain helper-call shape.
+func UseHelper(b *Bridge) time.Time {
+	return b.WallNow() // want `wall clock escape: time\.Now reached via \(\*Bridge\)\.WallNow \(caller\.go:\d+\)`
+}
+
+// UseDeep reaches the read two calls down; the chain names both hops.
+func UseDeep(b *Bridge) time.Time {
+	return b.wallDeep() // want `wall clock escape: time\.Now reached via \(\*Bridge\)\.wallDeep \(caller\.go:\d+\) → \(\*Bridge\)\.WallNow \(bridge\.go:\d+\)`
+}
+
+// UseMethodValue is the method-value shape: the banned read hides
+// behind a func-typed local.
+func UseMethodValue(b *Bridge) time.Time {
+	f := b.WallNow
+	return f() // want `wall clock escape: time\.Now reached via \(\*Bridge\)\.WallNow \(caller\.go:\d+\)`
+}
+
+// UseDefer is the defer shape.
+func UseDefer(b *Bridge) {
+	defer b.WallNow() // want `wall clock escape: time\.Now reached via \(\*Bridge\)\.WallNow \(caller\.go:\d+\)`
+}
+
+// UseField is the func-typed struct field shape: Src was bound to
+// time.Now in the exempt file.
+func UseField() time.Time {
+	c := NewClock()
+	return c.Src() // want `wall clock escape: time\.Now reached via c\.Src \(caller\.go:\d+\)`
+}
+
+// UseRand launders the global rand draw.
+func UseRand(b *Bridge) int {
+	return b.Draw() // want `nondeterminism escape: rand\.Intn reached via \(\*Bridge\)\.Draw \(caller\.go:\d+\)`
+}
+
+// UseElapsed launders time.Since behind the bridge.
+func UseElapsed(b *Bridge, t0 time.Time) time.Duration {
+	return b.Elapsed(t0) // want `wall clock escape: time\.Since reached via \(\*Bridge\)\.Elapsed \(caller\.go:\d+\)`
+}
+
+// CleanDuration uses time plumbing only — no diagnostic.
+func CleanDuration(d time.Duration) time.Duration { return d * 2 }

@@ -1,0 +1,174 @@
+// Package ownfix seeds ownlint violations: double release (straight
+// and branch-divergent), use after release, release and use after
+// hand-off, and escapes of pooled messages into retained storage,
+// package variables, goroutines, channels, and same-package helpers
+// (the interprocedural case, with the call chain in the diagnostic).
+// The clean patterns at the bottom must stay silent.
+package ownfix
+
+import (
+	"horus/internal/core"
+	"horus/internal/message"
+)
+
+// Double releases twice on a straight-line path.
+func Double(body []byte) {
+	m := message.Get(body)
+	m.Release()
+	m.Release() // want `double release of pooled message m \(already released at ownfix\.go:\d+\)`
+}
+
+// BranchDouble is the ISSUE 9 acceptance shape: one arm releases, the
+// fall-through releases again.
+func BranchDouble(body []byte, cond bool) {
+	m := message.Get(body)
+	if cond {
+		m.Release()
+	}
+	m.Release() // want `double release of pooled message m when the branch at ownfix\.go:\d+ is taken \(released there, released again here\)`
+}
+
+// UseAfter reads a released message.
+func UseAfter(body []byte) []byte {
+	m := message.Get(body)
+	m.Release()
+	return m.Body() // want `use of pooled message m after release \(method Body called; released at ownfix\.go:\d+\)`
+}
+
+// UseAfterBranch reads a message only one branch released.
+func UseAfterBranch(body []byte, cond bool) int {
+	m := message.Get(body)
+	if cond {
+		m.Release()
+	}
+	return m.Len() // want `use of pooled message m after release when the branch at ownfix\.go:\d+ is taken \(method Len called\)`
+}
+
+// keeper retains pooled messages — the invariant compiled layers must
+// never break.
+type keeper struct{ last *message.Message }
+
+// stash is the retaining helper; keep adds a level of indirection so
+// the diagnostic must carry the chain.
+func (k *keeper) stash(m *message.Message) { k.last = m }
+func (k *keeper) keep(m *message.Message)  { k.stash(m) }
+
+// Direct stores the message straight into a receiver field.
+func (k *keeper) Direct(body []byte) {
+	m := message.Get(body)
+	k.last = m // want `pooled message m stored into receiver field k\.last`
+}
+
+// Deep retains through the helper chain: ownlint must follow the
+// summary engine's escape fact and name both hops.
+func (k *keeper) Deep(body []byte) {
+	m := message.Get(body)
+	k.keep(m) // want `pooled message m is retained by \(\*keeper\)\.keep \(m stored into k\.last at ownfix\.go:\d+\) via \(\*keeper\)\.stash \(ownfix\.go:\d+\)`
+}
+
+// lastGlobal retains at package scope.
+var lastGlobal *message.Message
+
+func StoreGlobal(body []byte) {
+	m := message.Get(body)
+	lastGlobal = m // want `pooled message m stored into package variable lastGlobal`
+}
+
+// Spawn leaks the message into a goroutine.
+func Spawn(body []byte) {
+	m := message.Get(body)
+	go func() { _ = m.Body() }() // want `pooled message m escapes into a goroutine`
+}
+
+// SendChan leaks the message through a channel.
+func SendChan(body []byte, ch chan *message.Message) {
+	m := message.Get(body)
+	ch <- m // want `pooled message m sent on channel ch`
+}
+
+// stackT stands in for the stack's downcall entry.
+type stackT struct{}
+
+func (stackT) Down(ev *core.Event) {}
+
+// HandOffRelease releases after the stack took ownership.
+func HandOffRelease(body []byte, stk stackT) {
+	ev := &core.Event{}
+	ev.Msg = message.Get(body)
+	stk.Down(ev)
+	ev.Msg.Release() // want `release of pooled message ev\.Msg after it was handed to the stack at ownfix\.go:\d+`
+}
+
+// HandOffUse touches the message after the stack took ownership.
+func HandOffUse(body []byte, stk stackT) int {
+	ev := &core.Event{Msg: message.Get(body)}
+	stk.Down(ev)
+	return ev.Msg.Len() // want `use of pooled message ev\.Msg after hand-off to the stack at ownfix\.go:\d+`
+}
+
+// Waived is the benchkit shape: a deliberate reference-path release
+// after hand-off, suppressed with the escape hatch.
+func Waived(body []byte, stk stackT, fast bool) {
+	ev := &core.Event{Msg: message.Get(body)}
+	stk.Down(ev)
+	if !fast {
+		//horus:own-ok — fixture: reference path never consumes the message
+		ev.Msg.Release()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Clean patterns: no diagnostics below this line.
+
+// CleanOnce releases exactly once.
+func CleanOnce(body []byte) {
+	m := message.Get(body)
+	m.Push([]byte{1, 2})
+	m.Release()
+}
+
+// CleanBranchOnly releases on one branch and never touches the
+// message again — legal: Release is an optimization, not an
+// obligation.
+func CleanBranchOnly(body []byte, cond bool) {
+	m := message.Get(body)
+	if cond {
+		m.Release()
+	}
+}
+
+// CleanHandOff hands the message to the stack and walks away.
+func CleanHandOff(body []byte, stk stackT) {
+	ev := &core.Event{Msg: message.Get(body)}
+	stk.Down(ev)
+}
+
+// CleanReturn transfers ownership to the caller.
+func CleanReturn(body []byte) *message.Message {
+	return message.Get(body)
+}
+
+// CleanDefer releases at return via defer, after all uses.
+func CleanDefer(body []byte) int {
+	m := message.Get(body)
+	defer m.Release()
+	return m.Len()
+}
+
+// CleanAlias releases through an alias exactly once.
+func CleanAlias(body []byte) {
+	m := message.Get(body)
+	m2 := m
+	m2.Release()
+}
+
+// reader is a non-retaining helper: passing a tracked message to it
+// is fine.
+func reader(m *message.Message) int { return m.Len() }
+
+func CleanHelper(body []byte) int {
+	m := message.Get(body)
+	n := reader(m)
+	m.Release()
+	return n
+}

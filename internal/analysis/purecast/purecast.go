@@ -1,0 +1,211 @@
+// Package purecast statically enforces the §10 fast-path purity
+// contract. A compiled cast's pass-1 hooks — Ready, Fits, WidthFn —
+// run during the eligibility pass, before any side effect, so the plan
+// can decline a cast and fall back to the reference path with nothing
+// to undo (internal/core/plan.go). The contract was previously
+// enforced only by comments; this analyzer proves it: every function
+// bound to one of those fields in a core.CompiledCast literal (or by a
+// later field assignment) must be free of side effects through
+// arbitrary call depth, as established by the effect-summary engine's
+// SCC fixpoint over the package's call graph.
+//
+// "Pure" here means: no writes through the receiver, parameters,
+// captured variables, globals, or aliased state; no retention of the
+// event; no goroutine spawns or channel traffic; no wall-clock or
+// global-rand reads; and no calls the engine cannot resolve (interface
+// dispatch and unaudited cross-package functions are conservatively
+// impure). Cross-package helpers audited by hand are whitelisted in
+// KnownPure; a finding can be suppressed line-level with
+// "//horus:pure-ok — <reason>" on the hook binding or on the
+// offending statement.
+//
+// Diagnostics name the violating statement and the call chain that
+// reaches it, so a mutation two helpers deep reads as
+//
+//	Ready hook must be pure: mutates receiver (assignment to m.epoch)
+//	at mbrship.go:412 via (*Mbrship).gate (mbrship.go:398) →
+//	(*Mbrship).bump (mbrship.go:405)
+package purecast
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"horus/internal/analysis"
+	"horus/internal/analysis/annot"
+	"horus/internal/analysis/summary"
+)
+
+// scopePrefix limits the analyzer to the repo's own packages; fixture
+// and real layers both live under it.
+const scopePrefix = "horus/internal/"
+
+// okTag is the line-level suppression marker.
+const okTag = "pure-ok"
+
+// hookFields are the CompiledCast fields bound to the pure pass-1
+// hooks.
+var hookFields = map[string]bool{"Ready": true, "Fits": true, "WidthFn": true}
+
+// KnownPure whitelists cross-package functions audited as effect-free
+// that the engine's stdlib tables cannot see, keyed by
+// types.Func.FullName. (*View).Size reads len(v.Members) and nothing
+// else — see internal/core/id.go.
+var KnownPure = map[string]bool{
+	"(*horus/internal/core.View).Size": true,
+}
+
+// Analyzer is the purecast pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "purecast",
+	Doc:  "verify that compiled-cast Ready/Fits/WidthFn hooks are pure through arbitrary call depth",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), scopePrefix) {
+		return nil
+	}
+	var eng *summary.Engine // built lazily: most packages bind no hooks
+	engine := func() *summary.Engine {
+		if eng == nil {
+			eng = summary.Build(pass, summary.Options{KnownPure: KnownPure})
+		}
+		return eng
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		f := file
+		ast.Inspect(file, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.CompositeLit:
+				if !isCompiledCast(pass.TypesInfo.TypeOf(x)) {
+					return true
+				}
+				for _, el := range x.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !hookFields[key.Name] {
+						continue
+					}
+					checkHook(pass, engine(), f, key.Name, kv.Value)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || !hookFields[sel.Sel.Name] {
+						continue
+					}
+					if !isCompiledCast(pass.TypesInfo.TypeOf(sel.X)) {
+						continue
+					}
+					if i < len(x.Rhs) {
+						checkHook(pass, engine(), f, sel.Sel.Name, x.Rhs[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCompiledCast matches core.CompiledCast and *core.CompiledCast.
+func isCompiledCast(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "CompiledCast" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+// severity orders fact kinds for reporting: the most actionable
+// violation wins when a hook has several.
+func severity(k summary.Kind) int {
+	switch k {
+	case summary.MutateReceiver, summary.MutateParam, summary.MutateCaptured,
+		summary.MutateGlobal, summary.MutateAlias:
+		return 0
+	case summary.Wallclock, summary.GlobalRand:
+		return 1
+	case summary.SpawnGoroutine, summary.ChanOp:
+		return 2
+	case summary.EscapeArg:
+		return 3
+	default: // CallUnknown
+		return 4
+	}
+}
+
+// checkHook resolves one hook binding and reports its worst impurity.
+func checkHook(pass *analysis.Pass, eng *summary.Engine, file *ast.File, hook string, value ast.Expr) {
+	if isNilExpr(value) {
+		return
+	}
+	if annot.LineMarker(pass.Fset, file, value.Pos(), okTag) {
+		return
+	}
+	nodes, ok := eng.ResolveValue(value)
+	if !ok {
+		pass.Reportf(value.Pos(),
+			"compiled cast %s hook must be pure: bound to a value the analyzer cannot resolve — bind a func literal or named function, or annotate //horus:pure-ok with a reason", hook)
+		return
+	}
+	for _, n := range nodes {
+		var worst *summary.Fact
+		for _, fact := range n.Facts() {
+			if worst == nil || severity(fact.Kind) < severity(worst.Kind) {
+				worst = fact
+			}
+		}
+		if worst == nil {
+			continue
+		}
+		// Origin-line suppression: a hand-audited statement inside the
+		// hook's reach.
+		if of := eng.FileOf(worst.Pos); of != nil && annot.LineMarker(pass.Fset, of, worst.Pos, okTag) {
+			continue
+		}
+		msg := fmt.Sprintf("compiled cast %s hook must be pure: %s (%s) at %s",
+			hook, worst.Kind, worst.Detail, posString(pass, worst.Pos))
+		if chain := eng.FormatChain(worst); chain != "" {
+			msg += " via " + chain
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos:      value.Pos(),
+			Message:  msg,
+			Analyzer: pass.Analyzer.Name,
+			Chain:    eng.ChainStrings(worst),
+		})
+	}
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func posString(pass *analysis.Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}

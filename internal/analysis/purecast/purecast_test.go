@@ -1,0 +1,12 @@
+package purecast_test
+
+import (
+	"testing"
+
+	"horus/internal/analysis/analysistest"
+	"horus/internal/analysis/purecast"
+)
+
+func TestPurecast(t *testing.T) {
+	analysistest.Run(t, purecast.Analyzer, "horus/internal/layers/purefix")
+}

