@@ -115,10 +115,10 @@ type Fabric struct {
 	egressCongested map[core.EndpointID]uint64
 	egressDropped   map[core.EndpointID]uint64
 	nextBirth       uint64
-	stats      Stats
-	retired    udpnet.Stats // transport counters of detached incarnations
-	timers     []*time.Timer
-	closed     bool
+	stats           Stats
+	retired         udpnet.Stats // transport counters of detached incarnations
+	timers          []*time.Timer
+	closed          bool
 
 	wg sync.WaitGroup
 }
@@ -138,17 +138,17 @@ func New(cfg Config) *Fabric {
 		cfg.Addr = "127.0.0.1:0"
 	}
 	return &Fabric{
-		addr:       cfg.Addr,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		start:      time.Now(),
-		def:        cfg.DefaultLink,
-		links:      make(map[pair]netsim.Link),
-		crashed:    make(map[core.EndpointID]bool),
-		part:       make(map[core.EndpointID]int),
-		nodes:      make(map[core.EndpointID]*node),
-		bySrc:      make(map[string]core.EndpointID),
-		linkFree:   make(map[pair]time.Duration),
-		held:       make(map[pair][]*heldFrame),
+		addr:            cfg.Addr,
+		rng:             rand.New(rand.NewSource(cfg.Seed)),
+		start:           time.Now(),
+		def:             cfg.DefaultLink,
+		links:           make(map[pair]netsim.Link),
+		crashed:         make(map[core.EndpointID]bool),
+		part:            make(map[core.EndpointID]int),
+		nodes:           make(map[core.EndpointID]*node),
+		bySrc:           make(map[string]core.EndpointID),
+		linkFree:        make(map[pair]time.Duration),
+		held:            make(map[pair][]*heldFrame),
 		hosts:           make(map[core.EndpointID]netsim.Host),
 		egressFree:      make(map[core.EndpointID]time.Duration),
 		egressCongested: make(map[core.EndpointID]uint64),
@@ -184,6 +184,11 @@ func (f *Fabric) NewEndpoint(site string) *core.Endpoint {
 		o.tr.AddPeer(id, proxy.LocalAddr().(*net.UDPAddr))
 		tr.AddPeer(o.id, o.proxy.LocalAddr().(*net.UDPAddr))
 	}
+	// The member is a peer of itself, through its own proxy: netsim
+	// delivers loopback casts (subject to link faults, exempt from the
+	// egress bucket), so the UDP fabric must too, or every self-
+	// addressed copy of a group cast silently vanishes.
+	tr.AddPeer(id, proxy.LocalAddr().(*net.UDPAddr))
 	f.nodes[id] = n
 	f.bySrc[tr.Addr().String()] = id
 	f.mu.Unlock()

@@ -111,14 +111,19 @@ func (e *Endpoint) Join(addr GroupAddr, spec StackSpec, h Handler) (*Group, erro
 	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.destroyed {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("endpoint %s: join %q: endpoint destroyed", e.id, addr)
 	}
 	if _, dup := e.groups[addr]; dup {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("endpoint %s: already joined group %q", e.id, addr)
 	}
 	e.groups[addr] = g
+	e.mu.Unlock()
+	if reg, ok := e.transport.(GroupRegistrar); ok {
+		reg.JoinGroup(e.id, addr)
+	}
 	return g, nil
 }
 

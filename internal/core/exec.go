@@ -12,6 +12,7 @@ import "sync"
 type executor struct {
 	mu      sync.Mutex
 	queue   []func()
+	head    int // next entry to run; queue[:head] is already done
 	running bool
 }
 
@@ -29,13 +30,22 @@ func (x *executor) Do(fn func()) {
 		return
 	}
 	x.running = true
-	for len(x.queue) > 0 {
-		next := x.queue[0]
-		x.queue = x.queue[1:]
+	// Drain by head index rather than re-slicing the front: queue[1:]
+	// would strand the backing array's capacity behind the head, making
+	// nearly every enqueue reallocate. With an index the array is
+	// reused across drains — the queue's steady-state allocation rate
+	// is zero, which matters at cluster scale where every delivered
+	// packet passes through here.
+	for x.head < len(x.queue) {
+		next := x.queue[x.head]
+		x.queue[x.head] = nil // release the closure for GC
+		x.head++
 		x.mu.Unlock()
 		next()
 		x.mu.Lock()
 	}
+	x.queue = x.queue[:0]
+	x.head = 0
 	x.running = false
 	x.mu.Unlock()
 }

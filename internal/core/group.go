@@ -157,4 +157,7 @@ func (g *Group) close(destroy bool) {
 	g.ep.mu.Lock()
 	delete(g.ep.groups, g.addr)
 	g.ep.mu.Unlock()
+	if reg, ok := g.ep.transport.(GroupRegistrar); ok {
+		reg.LeaveGroup(g.ep.id, g.addr)
+	}
 }

@@ -29,6 +29,24 @@ type Transport interface {
 	Now() time.Duration
 }
 
+// GroupRegistrar is the optional transport interface behind
+// group-scoped broadcast. A transport that implements it is told which
+// endpoints have a stack composed for which group address, so an
+// empty-dests Send can fan out to exactly the endpoints that could
+// accept the packet instead of every endpoint attached to the medium —
+// the difference between O(group) and O(cluster) work per discovery
+// broadcast once thousands of endpoints share one fabric. Transports
+// without it (real sockets, RealTime) keep the shared-medium model;
+// receivers still drop packets for groups they have not joined, so the
+// optimization is behaviour-preserving.
+type GroupRegistrar interface {
+	// JoinGroup records that id has composed a stack for group g.
+	// Called once per successful Join, in join order.
+	JoinGroup(id EndpointID, g GroupAddr)
+	// LeaveGroup removes the registration (leave, destroy, crash).
+	LeaveGroup(id EndpointID, g GroupAddr)
+}
+
 // EgressFeedback is a snapshot of the local egress ledger for one
 // sending host: how much the host's token bucket is backed up and how
 // many frames the fabric has delayed or dropped on its account. It is

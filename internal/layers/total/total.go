@@ -151,6 +151,22 @@ func (t *Total) Down(ev *core.Event) {
 	case core.DSend:
 		ev.Msg.PushUint8(kSend)
 		t.Ctx.Down(ev)
+	case core.DView:
+		// An externally decided view (Table 1 view downcall /
+		// Group.InstallView, the §5 external membership service). The
+		// service's views are authoritative and agreed at every member
+		// — the property.ExternalViews contract — so the view is
+		// primary by definition: there is no partition-minority twin
+		// installing a competing order space. Apply before passing
+		// down so the holder election sees the view the lower layers
+		// are about to adopt; resubmit only after the descent, when
+		// COM's destination set and NAK's streams match the new view.
+		if ev.View != nil {
+			t.primary = true
+			t.applyView(ev.View)
+		}
+		t.Ctx.Down(ev)
+		t.resubmitPending()
 	case core.DDestroy:
 		t.destroyed = true
 		t.cancelReq()

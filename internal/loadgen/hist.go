@@ -1,0 +1,198 @@
+// Package loadgen is the cluster-scale serving harness: a
+// deterministic open-loop workload generator that drives hundreds of
+// groups and thousands of endpoints through real composed stacks over
+// a fabric (netsim virtual time by default, chaosnet UDP at reduced
+// scale), records per-cast latency histograms and per-window goodput,
+// and sweeps offered load to locate the saturation knee — the last
+// load level at which delivered goodput still tracks offered load and
+// tail latency stays bounded. Every number it produces is a pure
+// function of the seed on the simulated fabric, so knee locations are
+// replayable bit-for-bit and CI-gatable.
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram geometry: a log-linear (HDR-style) fixed-bucket layout
+// over non-negative int64 nanoseconds. Values below subCount are exact
+// (one bucket per nanosecond); above that, each power-of-two range is
+// split into subCount/2 linear sub-buckets, bounding the relative
+// quantile error by 2/subCount (< 1.6%). The layout is a compile-time
+// constant, so every histogram is mergeable with every other by
+// element-wise addition — per-group histograms merge into cluster
+// aggregates without resampling.
+const (
+	subBits  = 7
+	subCount = 1 << subBits // 128 exact low buckets
+	subHalf  = subCount / 2
+	// numBuckets covers every non-negative int64: exponents run from
+	// bits.Len64 = subBits+1 up to 63, each contributing subHalf
+	// buckets beyond the exact range.
+	numBuckets = subCount + (63-subBits)*subHalf
+)
+
+// Hist is a fixed-bucket latency histogram. The zero value is NOT
+// ready; use NewHist. All methods are single-goroutine; the harness
+// serializes access behind its own lock on wall-clock fabrics.
+type Hist struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{min: int64(^uint64(0) >> 1)} }
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	e := bits.Len64(u) - subBits // ≥ 1
+	return subCount + (e-1)*subHalf + int(u>>uint(e)) - subHalf
+}
+
+// bucketUpper is the largest value mapping to bucket idx — the value
+// Quantile reports, making every quantile a deterministic conservative
+// upper estimate within the layout's relative error.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	b := idx - subCount
+	e := uint(b/subHalf + 1)
+	sub := int64(b%subHalf + subHalf)
+	return (sub+1)<<e - 1
+}
+
+// Record adds one observation. Negative durations (a clock running
+// backwards on a wall-clock fabric) clamp to zero rather than
+// corrupting the layout.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Min returns the exact smallest recorded value, or 0 when empty.
+func (h *Hist) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the exact largest recorded value, or 0 when empty.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the exact arithmetic mean, or 0 when empty.
+func (h *Hist) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.total))
+}
+
+// Quantile returns an upper estimate of the q-quantile: the highest
+// value equivalent to the bucket holding the observation of rank
+// ceil(q·count). q ≤ 0 reports the exact minimum, q ≥ 1 the exact
+// maximum; an empty histogram reports 0 everywhere. The estimate is
+// exact for values below 128ns and within 1/64 relative error above.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(h.min)
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	rank := uint64(q * float64(h.total))
+	if uint64(q*float64(h.total)) != rank || q*float64(h.total) > float64(rank) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i]
+		if seen >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				// The top bucket's nominal bound can exceed the true
+				// maximum; never report beyond an observed value.
+				u = h.max
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge adds every observation of o into h. Histograms share one
+// compile-time layout, so merging is element-wise and associative: the
+// cluster aggregate is identical whatever order per-group histograms
+// arrive in.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Bucket is one non-empty histogram bucket, for snapshots and tests.
+type Bucket struct {
+	// Lower and Upper bound the values the bucket holds (inclusive).
+	Lower, Upper time.Duration
+	Count        uint64
+}
+
+// Buckets returns the non-empty buckets in ascending value order — the
+// sparse encoding snapshots serialize.
+func (h *Hist) Buckets() []Bucket {
+	var out []Bucket
+	lower := int64(0)
+	for i := 0; i < numBuckets; i++ {
+		upper := bucketUpper(i)
+		if c := h.counts[i]; c != 0 {
+			out = append(out, Bucket{Lower: time.Duration(lower), Upper: time.Duration(upper), Count: c})
+		}
+		lower = upper + 1
+	}
+	return out
+}

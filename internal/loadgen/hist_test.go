@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d min=%v max=%v mean=%v", h.Count(), h.Min(), h.Max(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Buckets() != nil {
+		t.Fatal("empty histogram has buckets")
+	}
+}
+
+func TestHistSingleSample(t *testing.T) {
+	for _, v := range []time.Duration{0, 1, 127, 128, 129, 5 * time.Millisecond} {
+		h := NewHist()
+		h.Record(v)
+		if h.Count() != 1 || h.Min() != v || h.Max() != v || h.Mean() != v {
+			t.Fatalf("single sample %v: count=%d min=%v max=%v mean=%v", v, h.Count(), h.Min(), h.Max(), h.Mean())
+		}
+		for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Fatalf("single sample %v: Quantile(%v) = %v", v, q, got)
+			}
+		}
+	}
+}
+
+func TestHistNegativeClamps(t *testing.T) {
+	h := NewHist()
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample: min=%v max=%v count=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+// TestHistExactLowRange: values under 128ns occupy one bucket each, so
+// every quantile of a known distribution is exact.
+func TestHistExactLowRange(t *testing.T) {
+	h := NewHist()
+	for v := 1; v <= 100; v++ {
+		h.Record(time.Duration(v))
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1}, {0.01, 1}, {0.25, 25}, {0.5, 50}, {0.75, 75}, {0.9, 90}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if h.Mean() != time.Duration(50) { // floor(5050/100) = 50
+		t.Errorf("Mean = %v, want 50ns", h.Mean())
+	}
+}
+
+// TestHistBucketBoundaries pins the index/upper-bound arithmetic at
+// every power-of-two edge: each value maps into a bucket whose range
+// contains it, upper bounds are tight (bucketIndex(upper) == idx, and
+// upper+1 falls in the next bucket), and indices are monotone.
+func TestHistBucketBoundaries(t *testing.T) {
+	vals := []int64{0, 1, 126, 127, 128, 129, 255, 256, 257, 511, 512, 513,
+		1023, 1024, 1025, 1<<20 - 1, 1 << 20, 1<<20 + 1, 1<<40 - 1, 1 << 40, 1<<62 - 1, 1 << 62}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		upper := bucketUpper(idx)
+		if v > upper {
+			t.Fatalf("value %d above its bucket upper %d (idx %d)", v, upper, idx)
+		}
+		if bucketIndex(upper) != idx {
+			t.Fatalf("upper %d of bucket %d maps to bucket %d", upper, idx, bucketIndex(upper))
+		}
+		if upper < int64(1<<62) { // avoid overflow probing past the top
+			if next := bucketIndex(upper + 1); next != idx+1 {
+				t.Fatalf("upper+1 (%d) maps to bucket %d, want %d", upper+1, next, idx+1)
+			}
+		}
+		if idx > 0 && bucketUpper(idx-1) >= v && v >= subCount {
+			t.Fatalf("value %d also fits bucket %d", v, idx-1)
+		}
+	}
+	// Monotone index over a dense low range.
+	last := -1
+	for v := int64(0); v < 4096; v++ {
+		idx := bucketIndex(v)
+		if idx < last {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, last)
+		}
+		last = idx
+	}
+	if maxIdx := bucketIndex(int64(^uint64(0) >> 1)); maxIdx >= numBuckets {
+		t.Fatalf("max int64 maps to bucket %d, layout has %d", maxIdx, numBuckets)
+	}
+}
+
+// TestHistQuantileRelativeError: above the exact range, quantiles are
+// upper estimates within the layout's 1/64 relative error.
+func TestHistQuantileRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := NewHist()
+	var vals []int64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, the shape of real latency data.
+		v := int64(float64(time.Microsecond) * pow(10, rng.Float64()*6) / 1e3)
+		vals = append(vals, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(q*float64(len(vals))+0.9999999) - 1
+		exact := vals[rank]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("Quantile(%v) = %d below exact %d", q, got, exact)
+		}
+		if float64(got-exact) > float64(exact)/64+1 {
+			t.Errorf("Quantile(%v) = %d, exact %d: error beyond 1/64", q, got, exact)
+		}
+	}
+}
+
+func pow(base, exp float64) float64 {
+	r := 1.0
+	for exp >= 1 {
+		r *= base
+		exp--
+	}
+	if exp > 0 {
+		// linear interpolation is fine for test data generation
+		r *= 1 + exp*(base-1)
+	}
+	return r
+}
+
+// TestHistMergeAssociative: merging is element-wise addition, so any
+// merge order yields the identical histogram.
+func TestHistMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	parts := make([]*Hist, 3)
+	for i := range parts {
+		parts[i] = NewHist()
+		for j := 0; j < 1000; j++ {
+			parts[i].Record(time.Duration(rng.Int63n(int64(time.Second))))
+		}
+	}
+	ab := NewHist()
+	ab.Merge(parts[0])
+	ab.Merge(parts[1])
+	ab.Merge(parts[2])
+	cb := NewHist()
+	cb.Merge(parts[2])
+	cb.Merge(parts[1])
+	cb.Merge(parts[0])
+	if ab.Count() != cb.Count() || ab.Min() != cb.Min() || ab.Max() != cb.Max() || ab.Mean() != cb.Mean() {
+		t.Fatal("merge order changed summary statistics")
+	}
+	ba, bb := ab.Buckets(), cb.Buckets()
+	if len(ba) != len(bb) {
+		t.Fatalf("merge order changed bucket count: %d vs %d", len(ba), len(bb))
+	}
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, ba[i], bb[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if ab.Quantile(q) != cb.Quantile(q) {
+			t.Fatalf("merge order changed Quantile(%v)", q)
+		}
+	}
+	// Merging an empty or nil histogram is the identity.
+	before := ab.Count()
+	ab.Merge(NewHist())
+	ab.Merge(nil)
+	if ab.Count() != before {
+		t.Fatal("empty/nil merge changed count")
+	}
+}
+
+// TestHistMergeEqualsUnion: a merged histogram equals one built from
+// the union of the samples.
+func TestHistMergeEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b, union := NewHist(), NewHist(), NewHist()
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		union.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != union.Count() || a.Mean() != union.Mean() || a.Min() != union.Min() || a.Max() != union.Max() {
+		t.Fatal("merged summary differs from union")
+	}
+	for q := 0.01; q < 1; q += 0.07 {
+		if a.Quantile(q) != union.Quantile(q) {
+			t.Fatalf("merged Quantile(%v) differs from union", q)
+		}
+	}
+}

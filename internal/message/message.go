@@ -244,11 +244,17 @@ func Unmarshal(wire []byte) (*Message, error) {
 		return nil, fmt.Errorf("message: header length %d exceeds wire buffer %d", hlen, len(wire))
 	}
 	hdr := wire[4 : 4+hlen]
-	buf := make([]byte, defaultHeadroom+hlen)
-	copy(buf[defaultHeadroom:], hdr)
-	body := make([]byte, len(wire)-4-hlen)
+	// One slab serves header and body: buf is the front slice, body the
+	// tail. Safe because buf is only ever written within its own length
+	// (grow reallocates instead of appending), so the body bytes behind
+	// buf's capacity are never touched. Halves the per-packet
+	// allocations on the delivery path.
+	blen := len(wire) - 4 - hlen
+	slab := make([]byte, defaultHeadroom+hlen+blen)
+	copy(slab[defaultHeadroom:], hdr)
+	body := slab[defaultHeadroom+hlen:]
 	copy(body, wire[4+hlen:])
-	return &Message{buf: buf, off: defaultHeadroom, body: body}, nil
+	return &Message{buf: slab[:defaultHeadroom+hlen], off: defaultHeadroom, body: body}, nil
 }
 
 // Equal reports whether two messages have identical header bytes and

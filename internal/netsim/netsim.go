@@ -101,14 +101,23 @@ type Stats struct {
 // RunFor / Step on a single goroutine; virtual time only advances
 // there.
 type Network struct {
-	mu         sync.Mutex
-	now        time.Duration
-	events     eventHeap
-	seq        uint64
-	rng        *rand.Rand
-	endpoints  map[core.EndpointID]*core.Endpoint
-	order      []core.EndpointID // attach order, for deterministic fan-out
-	links      map[pair]Link     // directed overrides: pair{from, to}
+	mu        sync.Mutex
+	now       time.Duration
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	endpoints map[core.EndpointID]*core.Endpoint
+	order     []core.EndpointID // attach order, for deterministic fan-out
+	// groups tracks which endpoints have a stack composed for which
+	// group address (core.GroupRegistrar), in join order. Empty-dests
+	// broadcasts fan out over this set rather than every attached
+	// endpoint: a receiver without the group dropped the packet anyway,
+	// so scoping the scan is behaviour-preserving — but it turns the
+	// per-broadcast cost from O(cluster endpoints) into O(group
+	// members), which is what lets thousands of endpoints share one
+	// simulated fabric (see the loadgen harness).
+	groups     map[core.GroupAddr][]core.EndpointID
+	links      map[pair]Link // directed overrides: pair{from, to}
 	def        Link
 	crashed    map[core.EndpointID]bool
 	partition  map[core.EndpointID]int // partition id; absent = 0
@@ -139,14 +148,15 @@ type pair struct{ a, b core.EndpointID }
 // New creates a network.
 func New(cfg Config) *Network {
 	return &Network{
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		endpoints:  make(map[core.EndpointID]*core.Endpoint),
-		links:      make(map[pair]Link),
-		def:        cfg.DefaultLink,
-		crashed:    make(map[core.EndpointID]bool),
-		partition:  make(map[core.EndpointID]int),
-		linkFree:   make(map[pair]time.Duration),
-		held:       make(map[pair][]*heldPacket),
+		rng:             rand.New(rand.NewSource(cfg.Seed)),
+		endpoints:       make(map[core.EndpointID]*core.Endpoint),
+		groups:          make(map[core.GroupAddr][]core.EndpointID),
+		links:           make(map[pair]Link),
+		def:             cfg.DefaultLink,
+		crashed:         make(map[core.EndpointID]bool),
+		partition:       make(map[core.EndpointID]int),
+		linkFree:        make(map[pair]time.Duration),
+		held:            make(map[pair][]*heldPacket),
 		hosts:           make(map[core.EndpointID]Host),
 		egressFree:      make(map[core.EndpointID]time.Duration),
 		egressCongested: make(map[core.EndpointID]uint64),
@@ -169,6 +179,34 @@ func (n *Network) NewEndpoint(site string) *core.Endpoint {
 	n.order = append(n.order, id)
 	n.mu.Unlock()
 	return ep
+}
+
+// JoinGroup implements core.GroupRegistrar: it records that id has a
+// stack composed for group g, making it an empty-dests broadcast
+// target for that group. Registration order is join order, so fan-out
+// stays deterministic.
+func (n *Network) JoinGroup(id core.EndpointID, g core.GroupAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups[g] = append(n.groups[g], id)
+}
+
+// LeaveGroup implements core.GroupRegistrar: the endpoint's stack for
+// g is gone (leave, destroy, or crash) and it stops being a broadcast
+// target for the group.
+func (n *Network) LeaveGroup(id core.EndpointID, g core.GroupAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	members := n.groups[g]
+	for i, m := range members {
+		if m == id {
+			n.groups[g] = append(members[:i], members[i+1:]...)
+			break
+		}
+	}
+	if len(n.groups[g]) == 0 {
+		delete(n.groups, g)
+	}
 }
 
 // SetLink overrides the link between a and b in both directions — the
@@ -233,6 +271,12 @@ func (n *Network) ClearHost(id core.EndpointID) {
 }
 
 func (n *Network) linkFor(from, to core.EndpointID) Link {
+	// Fast path: no overrides configured. The pair hash costs two
+	// string hashes per packet, which dominates a cluster-scale soak
+	// where every link is the default.
+	if len(n.links) == 0 {
+		return n.def
+	}
 	if l, ok := n.links[pair{from, to}]; ok {
 		return l
 	}
@@ -291,6 +335,21 @@ func (n *Network) Detach(id core.EndpointID) {
 	delete(n.egressFree, id)
 	delete(n.egressCongested, id)
 	delete(n.egressDropped, id)
+	// Crash→Destroy already deregistered the endpoint's groups through
+	// core.GroupRegistrar; sweep anyway so an endpoint the destroy path
+	// never reached (e.g. attached but externally constructed) cannot
+	// leave a stale broadcast target behind.
+	for g, members := range n.groups {
+		for i, m := range members {
+			if m == id {
+				n.groups[g] = append(members[:i], members[i+1:]...)
+				break
+			}
+		}
+		if len(n.groups[g]) == 0 {
+			delete(n.groups, g)
+		}
+	}
 }
 
 // Crashed reports whether the endpoint has been crashed.
@@ -350,29 +409,43 @@ func (n *Network) Now() time.Duration {
 }
 
 // Send transmits wire bytes best-effort. Part of core.Transport.
-// Empty dests broadcasts to every attached endpoint (the shared-medium
-// model); receivers without the group drop the packet.
+// Empty dests broadcasts to every endpoint with a stack composed for
+// the group address (the core.GroupRegistrar scoping; endpoints
+// without the group dropped the packet anyway).
 func (n *Network) Send(from core.EndpointID, group core.GroupAddr, dests []core.EndpointID, wire []byte) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.crashed[from] {
+	if len(n.crashed) != 0 && n.crashed[from] {
 		return
 	}
 	targets := dests
 	if len(targets) == 0 {
-		targets = n.order
+		targets = n.groups[group]
 	}
+	// One defensive copy shared by the whole fan-out: the caller may
+	// reuse wire after Send returns, but deliveries only read the
+	// buffer (Deliver unmarshals into fresh storage), so per-
+	// destination copies are needed only when a link garbles bytes in
+	// flight — sendOneLocked clones on that path alone.
+	shared := make([]byte, len(wire))
+	copy(shared, wire)
 	for _, dst := range targets {
-		n.sendOneLocked(from, group, dst, wire)
+		n.sendOneLocked(from, group, dst, shared)
 	}
 }
 
 // sendOneLocked routes one copy of wire toward dst, applying link
-// faults. Caller holds n.mu.
+// faults. wire is the fan-out's shared defensive copy: it must not be
+// mutated, only garble clones it. Caller holds n.mu.
 func (n *Network) sendOneLocked(from core.EndpointID, group core.GroupAddr, dst core.EndpointID, wire []byte) {
 	n.stats.Sent++
 	ep := n.endpoints[dst]
-	if ep == nil || n.crashed[dst] || n.partition[from] != n.partition[dst] {
+	// Emptiness guards: each of these maps is keyed by (a pair of)
+	// EndpointIDs, whose Site strings make every lookup a string hash.
+	// Idle fault machinery must not tax the per-packet path.
+	if ep == nil ||
+		(len(n.crashed) != 0 && n.crashed[dst]) ||
+		(len(n.partition) != 0 && n.partition[from] != n.partition[dst]) {
 		n.stats.Blocked++
 		return
 	}
@@ -387,9 +460,9 @@ func (n *Network) sendOneLocked(from core.EndpointID, group core.GroupAddr, dst 
 			n.stats.Lost++
 			continue
 		}
-		buf := make([]byte, len(wire))
-		copy(buf, wire)
+		buf := wire
 		if l.GarbleRate > 0 && len(buf) > 0 && n.rng.Float64() < l.GarbleRate {
+			buf = append([]byte(nil), wire...)
 			buf[n.rng.Intn(len(buf))] ^= byte(1 + n.rng.Intn(255))
 			n.stats.Garbled++
 		}
@@ -412,22 +485,26 @@ func (n *Network) sendOneLocked(from core.EndpointID, group core.GroupAddr, dst 
 // moment. Caller holds n.mu.
 func (n *Network) transmitLocked(from core.EndpointID, group core.GroupAddr, dst core.EndpointID, buf []byte) {
 	ep := n.endpoints[dst]
-	if ep == nil || n.crashed[dst] {
+	if ep == nil || (len(n.crashed) != 0 && n.crashed[dst]) {
 		n.stats.Blocked++
 		return
 	}
-	newFree, clear, out := EgressAcquire(n.hosts[from], from, dst, n.now, n.egressFree[from], len(buf))
-	switch out {
-	case EgressDropped:
-		n.stats.CollapseDropped++
-		n.egressDropped[from]++
-		return
-	case EgressQueued:
-		n.stats.Congested++
-		n.egressCongested[from]++
-		n.egressFree[from] = newFree
-	case EgressGranted:
-		n.egressFree[from] = newFree
+	clear := n.now
+	if len(n.hosts) != 0 {
+		newFree, c, out := EgressAcquire(n.hosts[from], from, dst, n.now, n.egressFree[from], len(buf))
+		clear = c
+		switch out {
+		case EgressDropped:
+			n.stats.CollapseDropped++
+			n.egressDropped[from]++
+			return
+		case EgressQueued:
+			n.stats.Congested++
+			n.egressCongested[from]++
+			n.egressFree[from] = newFree
+		case EgressGranted:
+			n.egressFree[from] = newFree
+		}
 	}
 	l := n.linkFor(from, dst)
 	delay := l.Delay
@@ -451,7 +528,7 @@ func (n *Network) transmitLocked(from core.EndpointID, group core.GroupAddr, dst
 	dstEp, dstID := ep, dst
 	n.scheduleLocked(n.now+delay, func() {
 		n.mu.Lock()
-		dead := n.crashed[dstID]
+		dead := len(n.crashed) != 0 && n.crashed[dstID]
 		if !dead {
 			n.stats.Delivered++
 			n.stats.Bytes += len(buf)
@@ -502,6 +579,9 @@ func (n *Network) holdLocked(from core.EndpointID, group core.GroupAddr, dst cor
 // held packets, releasing any whose depth is exhausted. Caller holds
 // n.mu.
 func (n *Network) departLocked(dir pair) {
+	if len(n.held) == 0 {
+		return
+	}
 	hs := n.held[dir]
 	if len(hs) == 0 {
 		return

@@ -45,6 +45,20 @@ const (
 // All is the union of every property.
 const All Set = 1<<16 - 1
 
+// ExternalViews is the property contribution of an external membership
+// service driving every member through the view downcall (Table 1
+// view / Group.InstallView; paper §5's "membership can be provided by
+// an external service"): views arrive consistent (P15), virtually
+// (semi-)synchronously agreed (P8, P9) — decided outside the stack
+// rather than by an MBRSHIP layer inside it. Stacks over a substrate
+// of P1|ExternalViews may therefore place view-consuming layers
+// (TOTAL, SAFE, PINWHEEL, ...) without MBRSHIP below, which is how
+// the cluster-scale load harness mass-constructs hundreds of groups
+// without paying a merge/flush dance per group. The caller takes on
+// the service's obligation: install the same view at every member
+// before traffic flows.
+const ExternalViews Set = P8 | P9 | P15
+
 // Descriptions holds Table 4: the name of each property.
 var Descriptions = map[Set]string{
 	P1:  "best effort delivery",
